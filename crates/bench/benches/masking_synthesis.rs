@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the end-to-end masking synthesis flow
+//! (Table 2 kernel) and its exact verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tm_bench::harness_library;
+use tm_masking::{synthesize, verify, MaskingOptions};
+use tm_netlist::suites::smoke_suite;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let lib = harness_library();
+    let mut group = c.benchmark_group("masking_synthesis");
+    group.sample_size(10);
+    for entry in smoke_suite() {
+        let nl = entry.build(lib.clone());
+        group.bench_with_input(BenchmarkId::new("synthesize", entry.name), &nl, |b, nl| {
+            b.iter(|| black_box(synthesize(nl, MaskingOptions::default()).report.critical_outputs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let lib = harness_library();
+    let mut group = c.benchmark_group("masking_verification");
+    group.sample_size(10);
+    let nl = smoke_suite()[0].build(lib);
+    group.bench_function("verify_i1", |b| {
+        b.iter(|| {
+            let mut result = synthesize(&nl, MaskingOptions::default());
+            black_box(verify(&mut result).all_ok())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_verification);
+criterion_main!(benches);

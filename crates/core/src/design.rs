@@ -1,0 +1,167 @@
+//! The masked design: original circuit + error-masking circuit + output
+//! multiplexers (paper Fig. 1).
+
+use tm_netlist::{NetId, Netlist};
+
+/// One protected (critical) primary output and its masking signals.
+#[derive(Clone, Debug)]
+pub struct ProtectedOutput {
+    /// Index of the output in the original netlist's output list.
+    pub position: usize,
+    /// The output net in the original netlist.
+    pub original: NetId,
+    /// The prediction `ỹ` net in the masking netlist.
+    pub ytilde: NetId,
+    /// The speed-path indicator `e` net in the masking netlist.
+    pub e: NetId,
+    /// The multiplexed output net in the combined netlist.
+    pub masked: NetId,
+    /// The `ỹ` net mapped into the combined netlist.
+    pub ytilde_combined: NetId,
+    /// The `e` net mapped into the combined netlist.
+    pub e_combined: NetId,
+    /// The original output net mapped into the combined netlist.
+    pub original_combined: NetId,
+}
+
+/// A complete masked design.
+///
+/// `combined` contains the untouched original logic, the masking
+/// circuit beside it (sharing primary inputs), and one 2-to-1 MUX per
+/// protected output with `e` on the select pin — masking is
+/// *non-intrusive*: no gate of the original circuit is modified.
+///
+/// The combined netlist's outputs are in the original output order;
+/// protected positions carry the MUX output, unprotected positions the
+/// original net.
+#[derive(Clone, Debug)]
+pub struct MaskedDesign {
+    /// The original circuit, untouched.
+    pub original: Netlist,
+    /// The standalone masking circuit `C̃` (same primary inputs as the
+    /// original; outputs are the `ỹ`/`e` pairs).
+    pub masking: Netlist,
+    /// Original + masking + MUXes.
+    pub combined: Netlist,
+    /// The protected outputs.
+    pub protected: Vec<ProtectedOutput>,
+}
+
+impl MaskedDesign {
+    /// A design with no protected outputs (no speed-paths at the chosen
+    /// target): the combined netlist is just the original.
+    pub fn unprotected(original: Netlist) -> Self {
+        let masking = Netlist::new(format!("{}_mask", original.name()), original.library().clone());
+        MaskedDesign {
+            combined: original.clone(),
+            masking,
+            original,
+            protected: Vec::new(),
+        }
+    }
+
+    /// Whether any outputs are protected.
+    pub fn is_protected(&self) -> bool {
+        !self.protected.is_empty()
+    }
+
+    /// The protected-output record for an original output net, if that
+    /// output is protected.
+    pub fn protection_of(&self, original_output: NetId) -> Option<&ProtectedOutput> {
+        self.protected.iter().find(|p| p.original == original_output)
+    }
+
+    /// Area of the masking logic added on top of the original (masking
+    /// gates + MUXes), in library units.
+    pub fn added_area(&self) -> f64 {
+        self.combined.area() - self.original.area()
+    }
+
+    /// Area overhead as a fraction of the original area.
+    pub fn area_overhead(&self) -> f64 {
+        if self.original.area() == 0.0 {
+            0.0
+        } else {
+            self.added_area() / self.original.area()
+        }
+    }
+
+    /// Gate-index partition of the combined netlist:
+    /// `(original, masking, muxes)` ranges, in combined `GateId` index
+    /// space. Useful for targeting aging at the original logic only.
+    pub fn combined_partition(&self) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+        let o = self.original.num_gates();
+        let m = o + self.masking.num_gates();
+        let total = self.combined.num_gates();
+        (0..o, o..m, m..total)
+    }
+
+    /// A probe-instrumented copy of the combined netlist: the real
+    /// outputs first (unchanged order), then for each protected output a
+    /// triple of probe outputs `(raw y, ỹ, e)` in `protected` order.
+    ///
+    /// Timing simulation of this netlist observes the raw (unmasked)
+    /// output beside the masked one — how the injection experiments
+    /// demonstrate that errors occur and are hidden.
+    pub fn instrumented(&self) -> (Netlist, Vec<ProbeTriple>) {
+        let mut nl = self.combined.clone();
+        let position_of = |nl: &mut Netlist, net: NetId| -> usize {
+            match nl.outputs().iter().position(|&o| o == net) {
+                Some(pos) => pos,
+                None => {
+                    nl.mark_output(net);
+                    nl.outputs().len() - 1
+                }
+            }
+        };
+        let mut probes = Vec::with_capacity(self.protected.len());
+        for p in &self.protected {
+            let raw_position = position_of(&mut nl, p.original_combined);
+            let ytilde_position = position_of(&mut nl, p.ytilde_combined);
+            let e_position = position_of(&mut nl, p.e_combined);
+            probes.push(ProbeTriple {
+                masked_position: p.position,
+                raw_position,
+                ytilde_position,
+                e_position,
+            });
+        }
+        (nl, probes)
+    }
+}
+
+/// Output positions of one protected output's probes in an
+/// [`MaskedDesign::instrumented`] netlist.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeTriple {
+    /// Position of the masked output among the real outputs.
+    pub masked_position: usize,
+    /// Position of the raw (unmasked) original output probe.
+    pub raw_position: usize,
+    /// Position of the `ỹ` probe.
+    pub ytilde_position: usize,
+    /// Position of the `e` probe.
+    pub e_position: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+
+    #[test]
+    fn unprotected_design_is_identity() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let d = MaskedDesign::unprotected(nl.clone());
+        assert!(!d.is_protected());
+        assert_eq!(d.added_area(), 0.0);
+        assert_eq!(d.area_overhead(), 0.0);
+        for m in 0..16u64 {
+            let a: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(d.combined.eval(&a), nl.eval(&a));
+        }
+        assert!(d.protection_of(nl.outputs()[0]).is_none());
+    }
+}

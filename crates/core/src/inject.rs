@@ -1,0 +1,218 @@
+//! Dynamic timing-error injection experiments.
+//!
+//! Exact verification shows masking is *logically* sound; this module
+//! shows it *dynamically* works on the simulated silicon: age the
+//! circuit's gates, clock it at the original period, replay a workload
+//! through the event-driven timing simulator, and count (i) raw timing
+//! errors on the unprotected outputs and (ii) errors that survive
+//! masking. With the paper's guarantees, the masked error count is zero
+//! whenever aging stays within the protected band (speed-paths within
+//! `1 − target_fraction` of `Δ` cover slowdowns up to
+//! `1/target_fraction − 1` ≈ 11 %).
+
+use crate::design::MaskedDesign;
+use tm_netlist::{Delay, Netlist};
+use tm_sim::timing::TimingSim;
+
+/// Counters from one injection run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectionOutcome {
+    /// Number of simulated clock cycles (vector transitions).
+    pub cycles: usize,
+    /// Cycles where at least one *raw* protected output mis-sampled.
+    pub raw_errors: usize,
+    /// Cycles where at least one *masked* output mis-sampled — the
+    /// errors that escaped masking.
+    pub masked_errors: usize,
+    /// Cycles where at least one indicator `e` sampled 1 (speed-path
+    /// activity).
+    pub activations: usize,
+}
+
+impl InjectionOutcome {
+    /// Fraction of raw errors hidden by masking (1.0 when none escape).
+    pub fn masking_effectiveness(&self) -> f64 {
+        if self.raw_errors == 0 {
+            1.0
+        } else {
+            1.0 - self.masked_errors as f64 / self.raw_errors as f64
+        }
+    }
+}
+
+/// Builds per-gate delay scale factors for the *combined* netlist that
+/// age every gate of the design by `factor` (original, masking and MUX
+/// gates alike — the masking circuit's ≥ 20 % slack is what lets it ride
+/// out the same wearout).
+pub fn uniform_aging(design: &MaskedDesign, factor: f64) -> Vec<f64> {
+    assert!(factor > 0.0, "aging factor must be positive");
+    vec![factor; design.combined.num_gates()]
+}
+
+/// Ages only the original logic (e.g. to model speed-path-local NBTI),
+/// leaving the masking circuit and MUXes fresh.
+pub fn original_only_aging(design: &MaskedDesign, factor: f64) -> Vec<f64> {
+    assert!(factor > 0.0, "aging factor must be positive");
+    let (orig, _mask, _mux) = design.combined_partition();
+    (0..design.combined.num_gates())
+        .map(|g| if orig.contains(&g) { factor } else { 1.0 })
+        .collect()
+}
+
+/// Replays `vectors` as consecutive clock cycles of period `clock`
+/// through the aged combined netlist and counts raw vs masked timing
+/// errors.
+///
+/// # Panics
+///
+/// Panics if `scale` does not have one entry per combined-netlist gate
+/// or vectors have the wrong arity.
+pub fn inject_and_measure(
+    design: &MaskedDesign,
+    scale: &[f64],
+    clock: Delay,
+    vectors: &[Vec<bool>],
+) -> InjectionOutcome {
+    let (instrumented, probes) = design.instrumented();
+    // The instrumented netlist has the same gates as the combined one.
+    assert_eq!(scale.len(), instrumented.num_gates(), "one scale factor per gate");
+    let sim = TimingSim::with_scale(&instrumented, scale.to_vec());
+
+    // The MUXed outputs are captured one (aged) MUX delay after the
+    // nominal edge — the mux sits inside the capture stage, the
+    // "marginal, quantifiable impact" the paper compensates during
+    // synthesis. Everything else samples at the nominal clock.
+    let lib = instrumented.library().clone();
+    let mut sample_times = vec![clock; instrumented.outputs().len()];
+    for p in design.protected.iter() {
+        let masked_net = p.masked;
+        if let tm_netlist::Driver::Gate(mux) = instrumented.driver(masked_net) {
+            let cell = lib.cell(instrumented.gate(mux).cell());
+            let mux_delay = cell.max_delay() * scale[mux.index()];
+            sample_times[p.position] = clock + mux_delay;
+        }
+    }
+
+    let mut outcome = InjectionOutcome::default();
+    for pair in vectors.windows(2) {
+        let r = sim.transition_with_sample_times(&pair[0], &pair[1], &sample_times);
+        outcome.cycles += 1;
+        let mut raw_bad = false;
+        let mut masked_bad = false;
+        let mut activated = false;
+        for p in &probes {
+            if r.sampled[p.raw_position] != r.settled[p.raw_position] {
+                raw_bad = true;
+            }
+            if r.sampled[p.masked_position] != r.settled[p.masked_position] {
+                masked_bad = true;
+            }
+            if r.sampled[p.e_position] {
+                activated = true;
+            }
+        }
+        if raw_bad {
+            outcome.raw_errors += 1;
+        }
+        if masked_bad {
+            outcome.masked_errors += 1;
+        }
+        if activated {
+            outcome.activations += 1;
+        }
+    }
+    outcome
+}
+
+/// Convenience: the instrumented netlist used by
+/// [`inject_and_measure`], exposed for custom experiments.
+pub fn instrumented_netlist(design: &MaskedDesign) -> Netlist {
+    design.instrumented().0
+}
+
+/// Draws input vectors (approximately uniformly) from the SPCFs of a
+/// synthesis result — patterns guaranteed to sensitize speed-paths.
+///
+/// Useful for building stress workloads: on deep circuits the SPCF is a
+/// thin slice of the input space, so uniform random workloads rarely
+/// exercise the speed-paths; realistic wearout and debug experiments mix
+/// these patterns in. Outputs cycle round-robin over the critical
+/// outputs; deterministic in `seed`.
+pub fn speedpath_patterns(
+    result: &crate::synth::MaskingResult,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<bool>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zero = result.bdd.zero();
+    let spcfs: Vec<_> = result
+        .spcf
+        .outputs
+        .iter()
+        .filter(|o| o.spcf != zero)
+        .map(|o| o.spcf)
+        .collect();
+    if spcfs.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .filter_map(|k| {
+            let f = spcfs[k % spcfs.len()];
+            result.bdd.sample_sat(f, || rng.gen::<f64>())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::MaskingOptions;
+    use crate::synth::synthesize;
+    use std::sync::Arc;
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+    use tm_sim::patterns::random_vectors;
+    use tm_sta::Sta;
+
+    #[test]
+    fn aged_comparator_errors_are_fully_masked() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let r = synthesize(&nl, MaskingOptions::default());
+        let clock = Sta::new(&nl).critical_path_delay(); // 7 units
+        // 8% aging: the 7-unit speed-paths slip past the clock (7.56),
+        // everything at ≤ 6.3 stays inside (6.8).
+        let scale = uniform_aging(&r.design, 1.08);
+        let vectors = random_vectors(4, 400, 11);
+        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors);
+        assert!(outcome.raw_errors > 0, "aging should produce raw errors");
+        assert_eq!(outcome.masked_errors, 0, "{outcome:?}");
+        assert!(outcome.activations >= outcome.raw_errors);
+        assert_eq!(outcome.masking_effectiveness(), 1.0);
+    }
+
+    #[test]
+    fn fresh_silicon_has_no_errors_anywhere() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let r = synthesize(&nl, MaskingOptions::default());
+        let clock = Sta::new(&nl).critical_path_delay();
+        let scale = uniform_aging(&r.design, 1.0);
+        let vectors = random_vectors(4, 200, 3);
+        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors);
+        assert_eq!(outcome.raw_errors, 0);
+        assert_eq!(outcome.masked_errors, 0);
+    }
+
+    #[test]
+    fn original_only_aging_also_masked() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let r = synthesize(&nl, MaskingOptions::default());
+        let clock = Sta::new(&nl).critical_path_delay();
+        let scale = original_only_aging(&r.design, 1.09);
+        let vectors = random_vectors(4, 400, 23);
+        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors);
+        assert!(outcome.raw_errors > 0);
+        assert_eq!(outcome.masked_errors, 0, "{outcome:?}");
+    }
+}

@@ -1,0 +1,717 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! Speed-path characteristic functions range over *all primary inputs* of
+//! a circuit — hundreds of variables with astronomically many satisfying
+//! patterns (Table 2 of the paper reports up to 8.8×10¹⁰⁷ critical
+//! minterms). BDDs represent and count such sets exactly.
+//!
+//! The manager is a classic Shannon-expansion ROBDD with a unique table
+//! and an ITE computed-cache. Functions are referenced by [`BddRef`]
+//! handles; equal functions always have equal handles (canonicity), so
+//! equivalence checking is `==`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a BDD node (a Boolean function) inside a [`Bdd`] manager.
+///
+/// Handles are only meaningful for the manager that created them.
+/// Canonicity guarantees `f == g` iff the functions are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The raw node index (stable for the lifetime of the manager).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BddRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "BddRef(⊥)"),
+            1 => write!(f, "BddRef(⊤)"),
+            i => write!(f, "BddRef({i})"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+const FALSE_IDX: u32 = 0;
+const TRUE_IDX: u32 = 1;
+/// Terminal "variable" index: compares greater than every real variable so
+/// that terminals sink to the bottom of the order.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A BDD manager: owns the node store, unique table and operation caches.
+///
+/// # Examples
+///
+/// ```
+/// use tm_logic::bdd::Bdd;
+///
+/// let mut bdd = Bdd::new(3);
+/// let x0 = bdd.var(0);
+/// let x2 = bdd.var(2);
+/// let f = bdd.and(x0, x2);
+/// assert_eq!(bdd.sat_count(f), 2.0); // x1 free
+/// let g = bdd.or(f, x0);
+/// assert_eq!(g, x0); // absorption, found structurally
+/// ```
+pub struct Bdd {
+    num_vars: u32,
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    quant_cache: HashMap<(u32, u64), u32>,
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd({} vars, {} nodes)", self.num_vars, self.nodes.len())
+    }
+}
+
+impl Bdd {
+    /// Creates a manager for functions over `num_vars` variables, ordered
+    /// by ascending index.
+    pub fn new(num_vars: usize) -> Self {
+        let nodes = vec![
+            Node { var: TERMINAL_VAR, lo: FALSE_IDX, hi: FALSE_IDX },
+            Node { var: TERMINAL_VAR, lo: TRUE_IDX, hi: TRUE_IDX },
+        ];
+        Bdd {
+            num_vars: num_vars as u32,
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            quant_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables in the manager's space.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Total nodes allocated so far (a capacity/effort metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> BddRef {
+        BddRef(FALSE_IDX)
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> BddRef {
+        BddRef(TRUE_IDX)
+    }
+
+    /// The projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(&mut self, var: usize) -> BddRef {
+        assert!((var as u32) < self.num_vars, "variable {var} out of range");
+        BddRef(self.mk(var as u32, FALSE_IDX, TRUE_IDX))
+    }
+
+    /// The negated projection of variable `var`.
+    pub fn nvar(&mut self, var: usize) -> BddRef {
+        assert!((var as u32) < self.num_vars, "variable {var} out of range");
+        BddRef(self.mk(var as u32, TRUE_IDX, FALSE_IDX))
+    }
+
+    /// A literal: variable `var` with the given polarity.
+    pub fn literal(&mut self, var: usize, polarity: bool) -> BddRef {
+        if polarity {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&idx) = self.unique.get(&(var, lo, hi)) {
+            return idx;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), idx);
+        idx
+    }
+
+    fn top_var(&self, f: u32) -> u32 {
+        self.nodes[f as usize].var
+    }
+
+    fn cofactors(&self, f: u32, var: u32) -> (u32, u32) {
+        let n = self.nodes[f as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)` — the universal
+    /// connective all other operations reduce to.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        BddRef(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        // Terminal cases.
+        if f == TRUE_IDX {
+            return g;
+        }
+        if f == FALSE_IDX {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE_IDX && h == FALSE_IDX {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let v = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite_rec(f0, g0, h0);
+        let hi = self.ite_rec(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        BddRef(self.ite_rec(f.0, g.0, FALSE_IDX))
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        BddRef(self.ite_rec(f.0, TRUE_IDX, g.0))
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        BddRef(self.ite_rec(f.0, FALSE_IDX, TRUE_IDX))
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        BddRef(self.ite_rec(f.0, ng.0, g.0))
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn xnor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Material implication `f ⇒ g`.
+    pub fn implies(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        BddRef(self.ite_rec(f.0, g.0, TRUE_IDX))
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Conjunction over an iterator (balanced fold to keep intermediate
+    /// BDDs small).
+    pub fn and_all<I: IntoIterator<Item = BddRef>>(&mut self, items: I) -> BddRef {
+        let mut v: Vec<BddRef> = items.into_iter().collect();
+        if v.is_empty() {
+            return self.one();
+        }
+        while v.len() > 1 {
+            let mut next = Vec::with_capacity(v.len().div_ceil(2));
+            for pair in v.chunks(2) {
+                next.push(if pair.len() == 2 { self.and(pair[0], pair[1]) } else { pair[0] });
+            }
+            v = next;
+        }
+        v[0]
+    }
+
+    /// Disjunction over an iterator (balanced fold).
+    pub fn or_all<I: IntoIterator<Item = BddRef>>(&mut self, items: I) -> BddRef {
+        let mut v: Vec<BddRef> = items.into_iter().collect();
+        if v.is_empty() {
+            return self.zero();
+        }
+        while v.len() > 1 {
+            let mut next = Vec::with_capacity(v.len().div_ceil(2));
+            for pair in v.chunks(2) {
+                next.push(if pair.len() == 2 { self.or(pair[0], pair[1]) } else { pair[0] });
+            }
+            v = next;
+        }
+        v[0]
+    }
+
+    /// Whether `f ⊆ g` as sets of satisfying assignments.
+    pub fn is_subset(&mut self, f: BddRef, g: BddRef) -> bool {
+        self.diff(f, g) == self.zero()
+    }
+
+    /// Evaluates the function on an explicit assignment (`assignment[i]` =
+    /// value of variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is shorter than the deepest variable
+    /// consulted.
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut idx = f.0;
+        loop {
+            match idx {
+                FALSE_IDX => return false,
+                TRUE_IDX => return true,
+                _ => {
+                    let n = self.nodes[idx as usize];
+                    idx = if assignment[n.var as usize] { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// Number of satisfying assignments over the full `num_vars` space.
+    ///
+    /// Exact up to `f64` precision; valid for up to ~1000 variables
+    /// (2¹⁰⁰⁰ < `f64::MAX`).
+    pub fn sat_count(&self, f: BddRef) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.sat_count_rec(f.0, &mut memo) * (self.var_gap(f.0) as f64).exp2()
+    }
+
+    /// Satisfying-assignment *fraction* of the full space — numerically
+    /// robust beyond 1000 variables.
+    pub fn sat_fraction(&self, f: BddRef) -> f64 {
+        self.sat_count(f) / (self.num_vars as f64).exp2()
+    }
+
+    fn var_gap(&self, f: u32) -> u32 {
+        // Variables above the root are unconstrained.
+        if f == FALSE_IDX {
+            0
+        } else if f == TRUE_IDX {
+            self.num_vars
+        } else {
+            self.top_var(f)
+        }
+    }
+
+    fn sat_count_rec(&self, f: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+        if f == FALSE_IDX {
+            return 0.0;
+        }
+        if f == TRUE_IDX {
+            return 1.0;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f as usize];
+        let lo_gap = self.level_gap(n.var, n.lo);
+        let hi_gap = self.level_gap(n.var, n.hi);
+        let c = self.sat_count_rec(n.lo, memo) * (lo_gap as f64).exp2()
+            + self.sat_count_rec(n.hi, memo) * (hi_gap as f64).exp2();
+        memo.insert(f, c);
+        c
+    }
+
+    fn level_gap(&self, parent_var: u32, child: u32) -> u32 {
+        let child_var = if child <= TRUE_IDX { self.num_vars } else { self.top_var(child) };
+        child_var - parent_var - 1
+    }
+
+    /// One satisfying assignment, or `None` for the zero function. Free
+    /// variables are returned as `false`.
+    pub fn pick_sat(&self, f: BddRef) -> Option<Vec<bool>> {
+        if f.0 == FALSE_IDX {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut idx = f.0;
+        while idx > TRUE_IDX {
+            let n = self.nodes[idx as usize];
+            if n.lo != FALSE_IDX {
+                idx = n.lo;
+            } else {
+                assignment[n.var as usize] = true;
+                idx = n.hi;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Samples a satisfying assignment approximately uniformly.
+    ///
+    /// `unit_random` must return values in `[0, 1)`; each call consumes
+    /// a few of them. Returns `None` for the zero function. Sampling is
+    /// weighted by exact satisfy-counts, so it is uniform up to `f64`
+    /// rounding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_logic::bdd::Bdd;
+    ///
+    /// let mut b = Bdd::new(4);
+    /// let x0 = b.var(0);
+    /// let x3 = b.var(3);
+    /// let f = b.and(x0, x3);
+    /// let mut state = 0.7_f64;
+    /// let sample = b
+    ///     .sample_sat(f, || {
+    ///         state = (state * 9301.0 + 49297.0) % 233280.0 / 233280.0;
+    ///         state
+    ///     })
+    ///     .expect("satisfiable");
+    /// assert!(b.eval(f, &sample));
+    /// ```
+    pub fn sample_sat(&self, f: BddRef, mut unit_random: impl FnMut() -> f64) -> Option<Vec<bool>> {
+        if f.0 == FALSE_IDX {
+            return None;
+        }
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        let mut assignment = vec![false; self.num_vars as usize];
+        // Free variables above the root.
+        let mut next_var = 0u32;
+        let mut idx = f.0;
+        loop {
+            let node_var = if idx <= TRUE_IDX { self.num_vars } else { self.top_var(idx) };
+            while next_var < node_var {
+                assignment[next_var as usize] = unit_random() < 0.5;
+                next_var += 1;
+            }
+            if idx <= TRUE_IDX {
+                break;
+            }
+            let n = self.nodes[idx as usize];
+            let lo_weight =
+                self.sat_count_rec(n.lo, &mut memo) * (self.level_gap(n.var, n.lo) as f64).exp2();
+            let hi_weight =
+                self.sat_count_rec(n.hi, &mut memo) * (self.level_gap(n.var, n.hi) as f64).exp2();
+            let take_hi = unit_random() * (lo_weight + hi_weight) >= lo_weight;
+            assignment[n.var as usize] = take_hi;
+            idx = if take_hi { n.hi } else { n.lo };
+            next_var = n.var + 1;
+        }
+        Some(assignment)
+    }
+
+    /// Restricts variable `var` to a constant.
+    pub fn restrict(&mut self, f: BddRef, var: usize, value: bool) -> BddRef {
+        let lit = self.literal(var, value);
+        // restrict(f, v=c) = ∃v. (f ∧ (v=c))
+        let g = self.and(f, lit);
+        self.exists(g, &[var])
+    }
+
+    /// Existential quantification over a set of variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 distinct variables are quantified at once or
+    /// any index is out of range.
+    pub fn exists(&mut self, f: BddRef, vars: &[usize]) -> BddRef {
+        assert!(vars.len() <= 64, "quantify at most 64 variables per call");
+        let mut sorted: Vec<usize> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &v in &sorted {
+            assert!((v as u32) < self.num_vars, "variable {v} out of range");
+        }
+        self.quant_cache.clear();
+        BddRef(self.exists_rec(f.0, &sorted))
+    }
+
+    fn exists_rec(&mut self, f: u32, vars: &[usize]) -> u32 {
+        if f <= TRUE_IDX || vars.is_empty() {
+            return f;
+        }
+        let key = (f, vars.iter().fold(0u64, |acc, &v| acc.rotate_left(7) ^ v as u64));
+        if let Some(&r) = self.quant_cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        // Skip quantified variables above the root.
+        let remaining: Vec<usize> =
+            vars.iter().copied().filter(|&v| v as u32 >= n.var).collect();
+        let r = if remaining.first() == Some(&(n.var as usize)) {
+            let rest = &remaining[1..];
+            let lo = self.exists_rec(n.lo, rest);
+            let hi = self.exists_rec(n.hi, rest);
+            self.ite_rec(lo, TRUE_IDX, hi)
+        } else {
+            let lo = self.exists_rec(n.lo, &remaining);
+            let hi = self.exists_rec(n.hi, &remaining);
+            self.mk(n.var, lo, hi)
+        };
+        self.quant_cache.insert(key, r);
+        r
+    }
+
+    /// The support of `f`: variables it structurally depends on.
+    pub fn support(&self, f: BddRef) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(idx) = stack.pop() {
+            if idx <= TRUE_IDX || !seen.insert(idx) {
+                continue;
+            }
+            let n = self.nodes[idx as usize];
+            vars.insert(n.var as usize);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of BDD nodes reachable from `f` (its size).
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        let mut count = 0;
+        while let Some(idx) = stack.pop() {
+            if idx <= TRUE_IDX || !seen.insert(idx) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[idx as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Builds the BDD of a cube over manager variables given `(var,
+    /// polarity)` literals.
+    pub fn cube(&mut self, literals: &[(usize, bool)]) -> BddRef {
+        let lits: Vec<BddRef> = literals.iter().map(|&(v, p)| self.literal(v, p)).collect();
+        self.and_all(lits)
+    }
+
+    /// Clears the operation caches (the unique table is preserved, so all
+    /// existing [`BddRef`]s stay valid). Useful between independent
+    /// workloads to bound memory.
+    pub fn clear_op_caches(&mut self) {
+        self.ite_cache.clear();
+        self.quant_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut b = Bdd::new(4);
+        assert_ne!(b.zero(), b.one());
+        let x = b.var(2);
+        assert_eq!(b.sat_count(x), 8.0);
+        let nx = b.not(x);
+        assert_eq!(b.sat_count(nx), 8.0);
+        let both = b.and(x, nx);
+        assert_eq!(both, b.zero());
+        let either = b.or(x, nx);
+        assert_eq!(either, b.one());
+    }
+
+    #[test]
+    fn canonicity_detects_equivalence() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        // x ∨ (x ∧ y) == x (absorption)
+        let xy = b.and(x, y);
+        let f = b.or(x, xy);
+        assert_eq!(f, x);
+        // De Morgan
+        let nx = b.not(x);
+        let ny = b.not(y);
+        let and_xy = b.and(x, y);
+        let lhs = b.not(and_xy);
+        let rhs = b.or(nx, ny);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn sat_count_various() {
+        let mut b = Bdd::new(10);
+        let x0 = b.var(0);
+        let x9 = b.var(9);
+        let f = b.and(x0, x9);
+        assert_eq!(b.sat_count(f), 256.0);
+        let g = b.or(x0, x9);
+        assert_eq!(b.sat_count(g), 768.0);
+        let h = b.xor(x0, x9);
+        assert_eq!(b.sat_count(h), 512.0);
+        assert_eq!(b.sat_count(b.zero()), 0.0);
+        assert_eq!(b.sat_count(b.one()), 1024.0);
+        assert!((b.sat_fraction(h) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sat_count_wide_space() {
+        // Hundreds of variables: counts stay finite in f64.
+        let mut b = Bdd::new(900);
+        let x = b.var(0);
+        let count = b.sat_count(x);
+        assert!(count.is_finite());
+        assert_eq!(count, (899f64).exp2());
+    }
+
+    #[test]
+    fn eval_walks_the_graph() {
+        let mut b = Bdd::new(3);
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        let x2 = b.var(2);
+        let t = b.and(x0, x1);
+        let f = b.or(t, x2);
+        for m in 0..8u64 {
+            let a: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let expect = (a[0] && a[1]) || a[2];
+            assert_eq!(b.eval(f, &a), expect, "m={m}");
+        }
+    }
+
+    #[test]
+    fn pick_sat_finds_model() {
+        let mut b = Bdd::new(4);
+        let x1 = b.var(1);
+        let nx3 = b.nvar(3);
+        let f = b.and(x1, nx3);
+        let m = b.pick_sat(f).expect("satisfiable");
+        assert!(b.eval(f, &m));
+        assert!(b.pick_sat(b.zero()).is_none());
+        assert!(b.pick_sat(b.one()).is_some());
+    }
+
+    #[test]
+    fn restrict_and_exists() {
+        let mut b = Bdd::new(3);
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        let f = b.xor(x0, x1);
+        let r1 = b.restrict(f, 0, true);
+        let nx1 = b.not(x1);
+        assert_eq!(r1, nx1);
+        let e = b.exists(f, &[0]);
+        assert_eq!(e, b.one());
+        let g = b.and(x0, x1);
+        let eg = b.exists(g, &[0]);
+        assert_eq!(eg, x1);
+        let eg2 = b.exists(g, &[0, 1]);
+        assert_eq!(eg2, b.one());
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut b = Bdd::new(5);
+        let x1 = b.var(1);
+        let x4 = b.var(4);
+        let f = b.xor(x1, x4);
+        assert_eq!(b.support(f), vec![1, 4]);
+        assert_eq!(b.size(f), 3); // xor of 2 vars: 3 internal nodes
+        assert_eq!(b.support(b.one()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn cube_builder() {
+        let mut b = Bdd::new(4);
+        let c = b.cube(&[(0, true), (3, false)]);
+        assert_eq!(b.sat_count(c), 4.0);
+        assert!(b.eval(c, &[true, false, false, false]));
+        assert!(!b.eval(c, &[true, false, false, true]));
+        assert_eq!(b.cube(&[]), b.one());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut b = Bdd::new(3);
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        let f = b.and(x0, x1);
+        assert!(b.is_subset(f, x0));
+        assert!(!b.is_subset(x0, f));
+        let z = b.zero();
+        assert!(b.is_subset(z, f));
+    }
+
+    #[test]
+    fn implies_and_diff() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let imp = b.implies(x, y);
+        // x ⇒ y false only on x=1,y=0
+        assert_eq!(b.sat_count(imp), 3.0);
+        let d = b.diff(x, y);
+        assert_eq!(b.sat_count(d), 1.0);
+    }
+
+    #[test]
+    fn balanced_folds() {
+        let mut b = Bdd::new(8);
+        let lits: Vec<BddRef> = (0..8).map(|i| b.var(i)).collect();
+        let all = b.and_all(lits.clone());
+        assert_eq!(b.sat_count(all), 1.0);
+        let any = b.or_all(lits);
+        assert_eq!(b.sat_count(any), 255.0);
+        assert_eq!(b.and_all(Vec::new()), b.one());
+        assert_eq!(b.or_all(Vec::new()), b.zero());
+    }
+
+    #[test]
+    fn xnor_is_negated_xor() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let a = b.xnor(x, y);
+        let x2 = b.xor(x, y);
+        let n = b.not(x2);
+        assert_eq!(a, n);
+    }
+
+    #[test]
+    fn cache_clearing_preserves_refs() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        b.clear_op_caches();
+        let g = b.and(x, y);
+        assert_eq!(f, g);
+    }
+}

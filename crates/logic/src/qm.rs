@@ -1,0 +1,333 @@
+//! Quine–McCluskey prime implicant generation and two-level cover
+//! selection.
+//!
+//! The short-path SPCF recursion (paper Eqn. 1) needs *all prime
+//! implicants* of the on-set and off-set of every gate function, and the
+//! masking synthesis (§4.1) needs minimized SOP covers of
+//! technology-independent nodes. Functions here are exact for tables up to
+//! [`crate::tt::MAX_TT_VARS`] inputs; the synthesis flow keeps node
+//! arities at 10–15 inputs, well inside that bound.
+
+use crate::cube::Cube;
+use crate::sop::Sop;
+use crate::tt::TruthTable;
+use std::collections::{HashMap, HashSet};
+
+/// Computes all prime implicants of the incompletely specified function
+/// with the given on-set and don't-care set.
+///
+/// A prime implicant is a cube contained in `on ∪ dc` that is not
+/// contained in any larger such cube. The result is sorted by ascending
+/// literal count (the order the essential-weight selection expects).
+///
+/// # Panics
+///
+/// Panics if the two tables have different arities.
+///
+/// # Examples
+///
+/// ```
+/// use tm_logic::{qm::prime_implicants, tt::TruthTable};
+///
+/// // f = majority of 3 inputs: primes are the three 2-literal cubes.
+/// let f = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+/// let primes = prime_implicants(&f, &TruthTable::zero(3));
+/// assert_eq!(primes.len(), 3);
+/// assert!(primes.iter().all(|p| p.literal_count() == 2));
+/// ```
+pub fn prime_implicants(on: &TruthTable, dc: &TruthTable) -> Vec<Cube> {
+    assert_eq!(on.num_vars(), dc.num_vars(), "on/dc arity mismatch");
+    let n = on.num_vars();
+    let care_or_dc = on | dc;
+
+    if care_or_dc.is_zero() {
+        return Vec::new();
+    }
+    if care_or_dc.is_one() {
+        return vec![Cube::universe()];
+    }
+
+    // Level 0: all minterms of on ∪ dc.
+    let mut current: HashSet<Cube> = care_or_dc.minterms().map(|m| Cube::minterm(n, m)).collect();
+    let mut primes: Vec<Cube> = Vec::new();
+
+    while !current.is_empty() {
+        let mut merged_away: HashSet<Cube> = HashSet::new();
+        let mut next: HashSet<Cube> = HashSet::new();
+
+        // Group cubes by their bound-variable mask; only same-mask cubes
+        // can merge, and a merge partner differs in exactly one value bit.
+        let mut by_mask: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for c in &current {
+            by_mask.entry(c.mask()).or_default().insert(c.value());
+        }
+        for c in &current {
+            let values = &by_mask[&c.mask()];
+            let mut bit_iter = c.mask();
+            while bit_iter != 0 {
+                let bit = bit_iter & bit_iter.wrapping_neg();
+                bit_iter &= bit_iter - 1;
+                let partner = c.value() ^ bit;
+                if values.contains(&partner) {
+                    merged_away.insert(*c);
+                    merged_away.insert(Cube::from_masks(c.mask(), partner));
+                    next.insert(Cube::from_masks(c.mask() & !bit, c.value() & !bit));
+                }
+            }
+        }
+
+        for c in &current {
+            if !merged_away.contains(c) {
+                primes.push(*c);
+            }
+        }
+        current = next;
+    }
+
+    primes.sort_by_key(|c| (c.literal_count(), c.mask(), c.value()));
+    primes.dedup();
+    primes
+}
+
+/// Prime implicants of both the on-set and off-set of a completely
+/// specified function.
+///
+/// This is the set `P` of Eqn. 1: "the set of all prime implicants in the
+/// on-set and off-set of f". Returned as `(on_primes, off_primes)`.
+pub fn on_off_primes(f: &TruthTable) -> (Vec<Cube>, Vec<Cube>) {
+    let dc = TruthTable::zero(f.num_vars());
+    (prime_implicants(f, &dc), prime_implicants(&!f, &dc))
+}
+
+/// Selects an irredundant cover of the on-set from a set of prime
+/// implicants using essential primes plus greedy set covering.
+///
+/// Every on-set minterm ends up covered; don't-care minterms may or may
+/// not be. The selection is heuristic (greedy), as in classical two-level
+/// minimizers; the result is irredundant with respect to single-cube
+/// removal.
+///
+/// # Panics
+///
+/// Panics if the primes do not jointly cover the on-set (they always do
+/// when produced by [`prime_implicants`] of the same function).
+pub fn select_cover(on: &TruthTable, primes: &[Cube]) -> Sop {
+    let n = on.num_vars();
+    let minterms: Vec<u64> = on.minterms().collect();
+    if minterms.is_empty() {
+        return Sop::zero(n);
+    }
+
+    // Coverage matrix: for each on-set minterm, which primes cover it.
+    let mut covering: Vec<Vec<usize>> = vec![Vec::new(); minterms.len()];
+    for (pi, p) in primes.iter().enumerate() {
+        for (mi, &m) in minterms.iter().enumerate() {
+            if p.eval(m) {
+                covering[mi].push(pi);
+            }
+        }
+    }
+    for (mi, cov) in covering.iter().enumerate() {
+        assert!(
+            !cov.is_empty(),
+            "prime set does not cover on-set minterm {}",
+            minterms[mi]
+        );
+    }
+
+    let mut selected: HashSet<usize> = HashSet::new();
+    let mut uncovered: HashSet<usize> = (0..minterms.len()).collect();
+
+    // Essential primes first: minterms covered by exactly one prime.
+    for cov in &covering {
+        if cov.len() == 1 {
+            selected.insert(cov[0]);
+        }
+    }
+    uncovered.retain(|&mi| !covering[mi].iter().any(|pi| selected.contains(pi)));
+
+    // Greedy set cover for the rest.
+    while !uncovered.is_empty() {
+        let mut best = usize::MAX;
+        let mut best_gain = 0usize;
+        let mut gains: HashMap<usize, usize> = HashMap::new();
+        for &mi in &uncovered {
+            for &pi in &covering[mi] {
+                *gains.entry(pi).or_insert(0) += 1;
+            }
+        }
+        for (&pi, &gain) in &gains {
+            // Tie-break toward fewer literals, then stable by index.
+            if gain > best_gain
+                || (gain == best_gain
+                    && best != usize::MAX
+                    && (primes[pi].literal_count(), pi)
+                        < (primes[best].literal_count(), best))
+            {
+                best = pi;
+                best_gain = gain;
+            }
+        }
+        selected.insert(best);
+        uncovered.retain(|&mi| !covering[mi].contains(&best));
+    }
+
+    // Irredundancy pass: drop any selected prime whose on-set minterms are
+    // all covered by the others.
+    let mut chosen: Vec<usize> = selected.into_iter().collect();
+    chosen.sort_unstable();
+    let mut i = 0;
+    while i < chosen.len() {
+        let pi = chosen[i];
+        let redundant = minterms.iter().enumerate().all(|(mi, _)| {
+            !covering[mi].contains(&pi)
+                || covering[mi].iter().any(|&qj| qj != pi && chosen.contains(&qj))
+        });
+        if redundant {
+            chosen.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+
+    let mut sop = Sop::from_cubes(n, chosen.into_iter().map(|pi| primes[pi]).collect());
+    sop.sort_by_literal_count();
+    sop
+}
+
+/// Exact-prime, greedy-cover two-level minimization of an incompletely
+/// specified function.
+///
+/// Returns a sum-of-products whose on-set contains `on` and is contained
+/// in `on ∪ dc`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_logic::{qm::minimize, tt::TruthTable};
+///
+/// let f = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+/// let sop = minimize(&f, &TruthTable::zero(3));
+/// assert_eq!(sop.len(), 3); // the three majority cubes
+/// ```
+pub fn minimize(on: &TruthTable, dc: &TruthTable) -> Sop {
+    let primes = prime_implicants(on, dc);
+    select_cover(on, &primes)
+}
+
+/// Minimized covers of the on-set and off-set of a completely specified
+/// function: `(on_cover, off_cover)`.
+pub fn minimize_both_phases(f: &TruthTable) -> (Sop, Sop) {
+    let dc = TruthTable::zero(f.num_vars());
+    (minimize(f, &dc), minimize(&!f, &dc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover_correct(on: &TruthTable, dc: &TruthTable, sop: &Sop) {
+        for m in 0..on.num_minterms() {
+            let v = sop.eval(m);
+            if on.eval(m) {
+                assert!(v, "on-set minterm {m} not covered");
+            } else if !dc.eval(m) {
+                assert!(!v, "off-set minterm {m} wrongly covered");
+            }
+        }
+    }
+
+    #[test]
+    fn primes_of_constants() {
+        assert!(prime_implicants(&TruthTable::zero(3), &TruthTable::zero(3)).is_empty());
+        let p = prime_implicants(&TruthTable::one(3), &TruthTable::zero(3));
+        assert_eq!(p, vec![Cube::universe()]);
+    }
+
+    #[test]
+    fn primes_of_single_variable() {
+        let f = TruthTable::var(3, 1);
+        let p = prime_implicants(&f, &TruthTable::zero(3));
+        assert_eq!(p, vec![Cube::from_literals(3, &[(1, true)])]);
+    }
+
+    #[test]
+    fn xor_has_only_minterm_primes() {
+        let f = &TruthTable::var(2, 0) ^ &TruthTable::var(2, 1);
+        let p = prime_implicants(&f, &TruthTable::zero(2));
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|c| c.literal_count() == 2));
+    }
+
+    #[test]
+    fn dont_cares_enlarge_primes() {
+        // on = {3}, dc = {1, 2}: the single prime would be x0&x1 without
+        // dc, but with dc the function can expand.
+        let mut on = TruthTable::zero(2);
+        on.set(0b11, true);
+        let mut dc = TruthTable::zero(2);
+        dc.set(0b01, true);
+        dc.set(0b10, true);
+        let p = prime_implicants(&on, &dc);
+        // Primes: x0 (covers {1,3}) and x1 (covers {2,3}).
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|c| c.literal_count() == 1));
+    }
+
+    #[test]
+    fn minimize_majority() {
+        let f = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let sop = minimize(&f, &TruthTable::zero(3));
+        check_cover_correct(&f, &TruthTable::zero(3), &sop);
+        assert_eq!(sop.len(), 3);
+    }
+
+    #[test]
+    fn minimize_with_dc_uses_dc() {
+        let mut on = TruthTable::zero(3);
+        on.set(0b111, true);
+        let dc = TruthTable::from_fn(3, |m| m != 0b111 && m != 0b000);
+        let sop = minimize(&on, &dc);
+        check_cover_correct(&on, &dc, &sop);
+        // With everything but 000 allowed, a single 1-literal cube suffices.
+        assert_eq!(sop.len(), 1);
+        assert_eq!(sop.cubes()[0].literal_count(), 1);
+    }
+
+    #[test]
+    fn both_phases_partition() {
+        let f = TruthTable::from_fn(4, |m| (m * 7 + 3) % 5 < 2);
+        let (on, off) = minimize_both_phases(&f);
+        for m in 0..16u64 {
+            assert_eq!(on.eval(m), f.eval(m));
+            assert_eq!(off.eval(m), !f.eval(m));
+        }
+    }
+
+    #[test]
+    fn random_functions_minimize_correctly() {
+        // Deterministic pseudo-random functions over 5 vars.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..25 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = seed;
+            let f = TruthTable::from_fn(5, |m| (s >> (m % 64)) & 1 == 1);
+            let sop = minimize(&f, &TruthTable::zero(5));
+            check_cover_correct(&f, &TruthTable::zero(5), &sop);
+        }
+    }
+
+    #[test]
+    fn primes_are_maximal() {
+        let f = TruthTable::from_fn(4, |m| m % 3 == 0);
+        let primes = prime_implicants(&f, &TruthTable::zero(4));
+        for p in &primes {
+            assert!(f.covers_cube(p), "prime not an implicant");
+            // Freeing any bound variable must leave the on-set.
+            for (var, _) in p.literals() {
+                let bigger = Cube::from_masks(p.mask() & !(1 << var), p.value() & !(1 << var));
+                assert!(!f.covers_cube(&bigger), "prime {p:?} not maximal at var {var}");
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Sum-of-products (two-level) covers.
+//!
+//! An [`Sop`] is an ordered list of [`Cube`]s interpreted as a disjunction.
+//! The *order* matters for the paper's essential-weight selection (§4.1):
+//! cubes are sorted by ascending literal count and a cube's essential
+//! weight is the fraction of SPCF patterns it covers that no earlier cube
+//! covered.
+
+use crate::cube::Cube;
+use std::fmt;
+
+/// A sum-of-products cover: an ordered disjunction of cubes over
+/// `num_vars` variables.
+///
+/// # Examples
+///
+/// ```
+/// use tm_logic::{cube::Cube, sop::Sop};
+///
+/// // f = x0·x1 + x2'
+/// let f = Sop::from_cubes(3, vec![
+///     Cube::from_literals(3, &[(0, true), (1, true)]),
+///     Cube::from_literals(3, &[(2, false)]),
+/// ]);
+/// assert!(f.eval(0b011));
+/// assert!(!f.eval(0b100));
+/// assert_eq!(f.literal_count(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Sop {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// The empty cover (constant false).
+    pub fn zero(num_vars: usize) -> Self {
+        Sop { num_vars, cubes: Vec::new() }
+    }
+
+    /// The tautology cover (a single universal cube).
+    pub fn one(num_vars: usize) -> Self {
+        Sop { num_vars, cubes: vec![Cube::universe()] }
+    }
+
+    /// Builds a cover from cubes.
+    pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        Sop { num_vars, cubes }
+    }
+
+    /// Single-cube cover.
+    pub fn from_cube(num_vars: usize, cube: Cube) -> Self {
+        Sop { num_vars, cubes: vec![cube] }
+    }
+
+    /// Number of variables in the cover's space.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover has no cubes (constant false).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The cubes in order.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Appends a cube.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Total literal count over all cubes (the classic two-level cost).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(|c| c.literal_count() as usize).sum()
+    }
+
+    /// Evaluates the cover on a minterm.
+    pub fn eval(&self, assignment: u64) -> bool {
+        self.cubes.iter().any(|c| c.eval(assignment))
+    }
+
+    /// Sorts cubes by ascending literal count (stable), the order required
+    /// by the paper's essential-weight cover selection.
+    pub fn sort_by_literal_count(&mut self) {
+        self.cubes.sort_by_key(|c| (c.literal_count(), c.mask(), c.value()));
+    }
+
+    /// Returns a copy sorted by ascending literal count.
+    pub fn sorted_by_literal_count(&self) -> Self {
+        let mut out = self.clone();
+        out.sort_by_literal_count();
+        out
+    }
+
+    /// Removes cubes contained in another cube of the cover (single-cube
+    /// containment); keeps first occurrences.
+    pub fn remove_contained(&mut self) {
+        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        // Larger cubes (fewer literals) absorb smaller ones, so scan in
+        // ascending literal order but preserve original order in output.
+        for (i, c) in self.cubes.iter().enumerate() {
+            let absorbed = self
+                .cubes
+                .iter()
+                .enumerate()
+                .any(|(j, d)| j != i && d.contains(c) && (d != c || j < i));
+            if !absorbed {
+                kept.push(*c);
+            }
+        }
+        self.cubes = kept;
+    }
+
+    /// Disjunction of two covers (concatenation; no minimization).
+    pub fn or(&self, other: &Sop) -> Sop {
+        assert_eq!(self.num_vars, other.num_vars, "SOP arity mismatch");
+        let mut cubes = self.cubes.clone();
+        cubes.extend_from_slice(&other.cubes);
+        Sop { num_vars: self.num_vars, cubes }
+    }
+
+    /// Conjunction of two covers (pairwise cube intersection).
+    pub fn and(&self, other: &Sop) -> Sop {
+        assert_eq!(self.num_vars, other.num_vars, "SOP arity mismatch");
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                if let Some(c) = a.intersect(b) {
+                    cubes.push(c);
+                }
+            }
+        }
+        let mut out = Sop { num_vars: self.num_vars, cubes };
+        out.remove_contained();
+        out
+    }
+
+    /// Renames variables through `map` (old index → new index) into a
+    /// space of `new_num_vars` variables.
+    pub fn permute(&self, new_num_vars: usize, map: &[usize]) -> Sop {
+        Sop {
+            num_vars: new_num_vars,
+            cubes: self.cubes.iter().map(|c| c.permute(map)).collect(),
+        }
+    }
+}
+
+impl FromIterator<Cube> for Sop {
+    /// Collects cubes into a cover; the variable count is the maximum
+    /// bound variable index + 1 (use [`Sop::from_cubes`] to fix the arity
+    /// explicitly).
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let num_vars = cubes
+            .iter()
+            .map(|c| 64 - c.mask().leading_zeros() as usize)
+            .max()
+            .unwrap_or(0);
+        Sop { num_vars, cubes }
+    }
+}
+
+impl Extend<Cube> for Sop {
+    fn extend<T: IntoIterator<Item = Cube>>(&mut self, iter: T) {
+        self.cubes.extend(iter);
+    }
+}
+
+impl fmt::Debug for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tt::TruthTable;
+
+    fn xor2() -> Sop {
+        Sop::from_cubes(2, vec![
+            Cube::from_literals(2, &[(0, true), (1, false)]),
+            Cube::from_literals(2, &[(0, false), (1, true)]),
+        ])
+    }
+
+    #[test]
+    fn eval_matches_cubes() {
+        let f = xor2();
+        assert!(f.eval(0b01));
+        assert!(f.eval(0b10));
+        assert!(!f.eval(0b00));
+        assert!(!f.eval(0b11));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(!Sop::zero(3).eval(5));
+        assert!(Sop::one(3).eval(5));
+        assert!(Sop::zero(3).is_empty());
+    }
+
+    #[test]
+    fn sort_order_is_ascending_literals() {
+        let mut f = Sop::from_cubes(3, vec![
+            Cube::from_literals(3, &[(0, true), (1, true), (2, true)]),
+            Cube::from_literals(3, &[(0, false)]),
+            Cube::from_literals(3, &[(1, true), (2, false)]),
+        ]);
+        f.sort_by_literal_count();
+        let counts: Vec<u32> = f.cubes().iter().map(|c| c.literal_count()).collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn containment_removal() {
+        let mut f = Sop::from_cubes(3, vec![
+            Cube::from_literals(3, &[(0, true)]),
+            Cube::from_literals(3, &[(0, true), (1, false)]), // contained
+            Cube::from_literals(3, &[(2, true)]),
+        ]);
+        f.remove_contained();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn and_or_match_truth_tables() {
+        let f = xor2().permute(3, &[0, 1]);
+        let g = Sop::from_cube(3, Cube::from_literals(3, &[(2, true)]));
+        let and = f.and(&g);
+        let or = f.or(&g);
+        let ft = TruthTable::from_sop(3, &f);
+        let gt = TruthTable::from_sop(3, &g);
+        assert_eq!(TruthTable::from_sop(3, &and), &ft & &gt);
+        assert_eq!(TruthTable::from_sop(3, &or), &ft | &gt);
+    }
+
+    #[test]
+    fn collect_from_cubes() {
+        let f: Sop = vec![Cube::from_literals(4, &[(3, true)])].into_iter().collect();
+        assert_eq!(f.num_vars(), 4);
+        assert_eq!(f.len(), 1);
+    }
+}

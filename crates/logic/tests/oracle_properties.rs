@@ -1,0 +1,195 @@
+//! Property tests cross-checking the three Boolean representations
+//! (truth tables, SOPs/cubes, BDDs) against each other: each serves as
+//! an oracle for the others.
+
+use proptest::prelude::*;
+use tm_logic::bdd::{Bdd, BddRef};
+use tm_logic::{qm, Cube, TruthTable};
+
+/// A random truth table over `n` variables (as raw words).
+fn tt_strategy(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<u64>(), 1 << n.saturating_sub(6))
+        .prop_map(move |words| TruthTable::from_fn(n, |m| (words[(m >> 6) as usize] >> (m & 63)) & 1 == 1))
+}
+
+/// Builds the BDD of a truth table by Shannon expansion over minterms.
+fn bdd_of_tt(bdd: &mut Bdd, tt: &TruthTable) -> BddRef {
+    let mut terms = Vec::new();
+    for m in tt.minterms() {
+        let lits: Vec<BddRef> = (0..tt.num_vars())
+            .map(|v| bdd.literal(v, (m >> v) & 1 == 1))
+            .collect();
+        terms.push(bdd.and_all(lits));
+    }
+    bdd.or_all(terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BDD operations agree with truth-table operations pointwise.
+    #[test]
+    fn bdd_ops_match_tt_ops(a in tt_strategy(5), b in tt_strategy(5)) {
+        let mut bdd = Bdd::new(5);
+        let fa = bdd_of_tt(&mut bdd, &a);
+        let fb = bdd_of_tt(&mut bdd, &b);
+        let and = bdd.and(fa, fb);
+        let or = bdd.or(fa, fb);
+        let xor = bdd.xor(fa, fb);
+        let na = bdd.not(fa);
+        let imp = bdd.implies(fa, fb);
+        for m in 0..32u64 {
+            let assignment: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let (va, vb) = (a.eval(m), b.eval(m));
+            prop_assert_eq!(bdd.eval(and, &assignment), va && vb);
+            prop_assert_eq!(bdd.eval(or, &assignment), va || vb);
+            prop_assert_eq!(bdd.eval(xor, &assignment), va ^ vb);
+            prop_assert_eq!(bdd.eval(na, &assignment), !va);
+            prop_assert_eq!(bdd.eval(imp, &assignment), !va || vb);
+        }
+    }
+
+    /// Satisfy counts computed on the BDD equal the truth table's ones
+    /// count.
+    #[test]
+    fn sat_count_matches_tt(a in tt_strategy(6)) {
+        let mut bdd = Bdd::new(6);
+        let f = bdd_of_tt(&mut bdd, &a);
+        prop_assert_eq!(bdd.sat_count(f), a.count_ones() as f64);
+    }
+
+    /// Canonicity: equal functions get equal refs regardless of the
+    /// construction route (minterm order reversed).
+    #[test]
+    fn bdd_canonical(a in tt_strategy(5)) {
+        let mut bdd = Bdd::new(5);
+        let forward = bdd_of_tt(&mut bdd, &a);
+        let mut terms = Vec::new();
+        let minterms: Vec<u64> = a.minterms().collect();
+        for &m in minterms.iter().rev() {
+            let lits: Vec<BddRef> = (0..5).map(|v| bdd.literal(v, (m >> v) & 1 == 1)).collect();
+            terms.push(bdd.and_all(lits));
+        }
+        let backward = bdd.or_all(terms);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Exists-quantification matches the truth-table cofactor OR.
+    #[test]
+    fn exists_matches_cofactors(a in tt_strategy(5), var in 0usize..5) {
+        let mut bdd = Bdd::new(5);
+        let f = bdd_of_tt(&mut bdd, &a);
+        let e = bdd.exists(f, &[var]);
+        let expect = &a.cofactor(var, false) | &a.cofactor(var, true);
+        for m in 0..32u64 {
+            let assignment: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(bdd.eval(e, &assignment), expect.eval(m));
+        }
+    }
+
+    /// Quine–McCluskey minimization is exact: the cover equals the
+    /// function, every cube is a maximal implicant.
+    #[test]
+    fn qm_minimize_is_exact(a in tt_strategy(5)) {
+        let dc = TruthTable::zero(5);
+        let sop = qm::minimize(&a, &dc);
+        for m in 0..32u64 {
+            prop_assert_eq!(sop.eval(m), a.eval(m), "cover differs at {}", m);
+        }
+        let primes = qm::prime_implicants(&a, &dc);
+        for p in &primes {
+            prop_assert!(a.covers_cube(p));
+            for (var, _) in p.literals() {
+                let bigger = Cube::from_masks(p.mask() & !(1 << var), p.value() & !(1 << var));
+                prop_assert!(!a.covers_cube(&bigger), "non-maximal prime");
+            }
+        }
+        // Every selected cube is one of the primes.
+        for c in sop.cubes() {
+            prop_assert!(primes.contains(c));
+        }
+    }
+
+    /// With don't-cares, the minimized cover stays inside on ∪ dc and
+    /// covers all of on.
+    #[test]
+    fn qm_respects_dont_cares(on_raw in tt_strategy(5), dc_raw in tt_strategy(5)) {
+        let dc = &dc_raw & &!&on_raw; // disjoint dc
+        let sop = qm::minimize(&on_raw, &dc);
+        for m in 0..32u64 {
+            if on_raw.eval(m) {
+                prop_assert!(sop.eval(m));
+            } else if !dc.eval(m) {
+                prop_assert!(!sop.eval(m));
+            }
+        }
+    }
+
+    /// SOP and/or agree with truth-table and/or.
+    #[test]
+    fn sop_algebra(a in tt_strategy(4), b in tt_strategy(4)) {
+        let z = TruthTable::zero(4);
+        let sa = qm::minimize(&a, &z);
+        let sb = qm::minimize(&b, &z);
+        let and = sa.and(&sb);
+        let or = sa.or(&sb);
+        for m in 0..16u64 {
+            prop_assert_eq!(and.eval(m), a.eval(m) && b.eval(m));
+            prop_assert_eq!(or.eval(m), a.eval(m) || b.eval(m));
+        }
+    }
+
+    /// Sampling satisfying assignments always yields models.
+    #[test]
+    fn sample_sat_yields_models(a in tt_strategy(5), seed in 0u64..1000) {
+        let mut bdd = Bdd::new(5);
+        let f = bdd_of_tt(&mut bdd, &a);
+        let mut state = seed as f64 / 1000.0 + 0.123;
+        let sample = bdd.sample_sat(f, || {
+            state = (state * 9301.0 + 49297.0) % 233280.0 / 233280.0;
+            state
+        });
+        match sample {
+            Some(s) => prop_assert!(bdd.eval(f, &s)),
+            None => prop_assert!(a.is_zero()),
+        }
+    }
+
+    /// Cube containment and intersection agree with minterm semantics.
+    #[test]
+    fn cube_set_semantics(mask_a in 0u64..16, val_a in 0u64..16, mask_b in 0u64..16, val_b in 0u64..16) {
+        let a = Cube::from_masks(mask_a, val_a);
+        let b = Cube::from_masks(mask_b, val_b);
+        let a_set: Vec<u64> = (0..16).filter(|&m| a.eval(m)).collect();
+        let b_set: Vec<u64> = (0..16).filter(|&m| b.eval(m)).collect();
+        prop_assert_eq!(a.contains(&b), b_set.iter().all(|m| a_set.contains(m)));
+        prop_assert_eq!(a.intersects(&b), a_set.iter().any(|m| b_set.contains(m)));
+        if let Some(i) = a.intersect(&b) {
+            for m in 0..16u64 {
+                prop_assert_eq!(i.eval(m), a.eval(m) && b.eval(m));
+            }
+        }
+    }
+
+    /// Sop::from_cubes/TruthTable::from_sop round-trip through
+    /// minimization.
+    #[test]
+    fn sop_tt_roundtrip(a in tt_strategy(5)) {
+        let sop = qm::minimize(&a, &TruthTable::zero(5));
+        let back = TruthTable::from_sop(5, &sop);
+        prop_assert_eq!(back, a);
+    }
+}
+
+/// Deterministic regression: sorted-by-literal-count ordering is what
+/// the essential-weight selection expects (stable, ascending).
+#[test]
+fn sorted_cover_is_ascending() {
+    let f = TruthTable::from_fn(5, |m| m % 7 == 0 || m == 31);
+    let mut sop = qm::minimize(&f, &TruthTable::zero(5));
+    sop.sort_by_literal_count();
+    let counts: Vec<u32> = sop.cubes().iter().map(Cube::literal_count).collect();
+    let mut sorted = counts.clone();
+    sorted.sort_unstable();
+    assert_eq!(counts, sorted);
+}

@@ -1,0 +1,254 @@
+//! Adaptive speed-up of critical gates using body bias — the second of
+//! the paper's §6 future-research directions, implemented.
+//!
+//! The wearout log (`e ∧ (y ⊕ ỹ)`, §2.1) tells the system *when*
+//! speed-paths have degraded; forward body bias tells it what to do
+//! about it: lower the threshold voltage of the speed-path gates,
+//! buying delay back at a leakage cost. [`AdaptiveBiasController`]
+//! closes the loop: it watches the masked-error rate epoch by epoch and
+//! applies one bias step whenever the rate crosses a threshold — while
+//! the masking circuit guarantees nothing escapes in the meantime.
+
+use tm_masking::MaskedDesign;
+use tm_sim::aging::AgingModel;
+use tm_sim::timing::TimingSim;
+use tm_sta::Sta;
+
+/// Configuration of the closed-loop bias controller.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveBiasController {
+    /// Masked-error rate that triggers a bias step.
+    pub trigger_rate: f64,
+    /// Per-step delay speed-up of the biased (speed-path) gates, as a
+    /// multiplier < 1 (e.g. 0.95 = 5 % faster).
+    pub speedup_per_step: f64,
+    /// Maximum number of bias steps the hardware supports.
+    pub max_steps: usize,
+    /// Relative leakage-power cost per bias step (reported, not
+    /// simulated).
+    pub leakage_per_step: f64,
+}
+
+impl Default for AdaptiveBiasController {
+    fn default() -> Self {
+        AdaptiveBiasController {
+            trigger_rate: 0.01,
+            speedup_per_step: 0.94,
+            max_steps: 3,
+            leakage_per_step: 0.05,
+        }
+    }
+}
+
+/// One epoch of a closed-loop run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BiasEpoch {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Aging stress during the epoch.
+    pub stress: f64,
+    /// Bias steps active during the epoch.
+    pub bias_steps: usize,
+    /// Cycles simulated.
+    pub cycles: usize,
+    /// Masked-error log events (`e ∧ (y ⊕ ỹ)`).
+    pub detected_errors: usize,
+    /// Errors that escaped masking (must stay 0 inside the protected
+    /// band).
+    pub escapes: usize,
+}
+
+impl BiasEpoch {
+    /// Masked-error rate of the epoch.
+    pub fn error_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.detected_errors as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Result of a closed-loop lifetime run.
+#[derive(Clone, Debug)]
+pub struct BiasRun {
+    /// Per-epoch log.
+    pub epochs: Vec<BiasEpoch>,
+    /// Bias steps applied by the end of the run.
+    pub final_bias_steps: usize,
+    /// Total relative leakage cost at the end of the run.
+    pub leakage_cost: f64,
+}
+
+impl AdaptiveBiasController {
+    /// Runs a closed-loop lifetime simulation: aging stress sweeps
+    /// linearly to `max_stress` across `epochs`; after each epoch whose
+    /// masked-error rate exceeds the trigger, one bias step is applied
+    /// to the speed-path gates of the original circuit.
+    ///
+    /// `workload` supplies the vectors replayed each epoch (the same
+    /// workload each epoch, so rate changes reflect aging and bias, not
+    /// input drift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is unprotected, the workload has fewer than
+    /// two vectors, or `epochs == 0`.
+    pub fn run(
+        &self,
+        design: &MaskedDesign,
+        model: &AgingModel,
+        epochs: usize,
+        max_stress: f64,
+        workload: &[Vec<bool>],
+    ) -> BiasRun {
+        assert!(design.is_protected(), "bias control needs protected outputs");
+        assert!(workload.len() >= 2 && epochs > 0, "degenerate configuration");
+
+        let sta = Sta::new(&design.original);
+        let delta = sta.critical_path_delay();
+        let clock = delta;
+        let orig_critical = sta.critical_gates(delta * 0.9);
+        let (instrumented, probes) = design.instrumented();
+        let (orig_range, _, _) = design.combined_partition();
+        let stressed: Vec<bool> = (0..instrumented.num_gates())
+            .map(|g| orig_range.contains(&g) && orig_critical.get(g).copied().unwrap_or(false))
+            .collect();
+        let lib = instrumented.library().clone();
+
+        let mut bias_steps = 0usize;
+        let mut log = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            let stress = if epochs == 1 {
+                max_stress
+            } else {
+                max_stress * epoch as f64 / (epochs - 1) as f64
+            };
+            let mut scale = model.scale_factors(&instrumented, &stressed, stress);
+            // Forward body bias speeds up exactly the stressed gates.
+            let bias = self.speedup_per_step.powi(bias_steps as i32);
+            for (g, s) in scale.iter_mut().enumerate() {
+                if stressed[g] {
+                    *s = (*s * bias).max(0.4);
+                }
+            }
+            let sim = TimingSim::with_scale(&instrumented, scale.clone());
+            let mut sample_times = vec![clock; instrumented.outputs().len()];
+            for p in &design.protected {
+                if let tm_netlist::Driver::Gate(mux) = instrumented.driver(p.masked) {
+                    let d =
+                        lib.cell(instrumented.gate(mux).cell()).max_delay() * scale[mux.index()];
+                    sample_times[p.position] = clock + d;
+                }
+            }
+
+            let mut stat = BiasEpoch {
+                epoch,
+                stress,
+                bias_steps,
+                cycles: 0,
+                detected_errors: 0,
+                escapes: 0,
+            };
+            for pair in workload.windows(2) {
+                let r = sim.transition_with_sample_times(&pair[0], &pair[1], &sample_times);
+                stat.cycles += 1;
+                let mut detected = false;
+                let mut escaped = false;
+                for p in &probes {
+                    if r.sampled[p.e_position]
+                        && r.sampled[p.raw_position] != r.sampled[p.ytilde_position]
+                    {
+                        detected = true;
+                    }
+                    if r.sampled[p.masked_position] != r.settled[p.masked_position] {
+                        escaped = true;
+                    }
+                }
+                if detected {
+                    stat.detected_errors += 1;
+                }
+                if escaped {
+                    stat.escapes += 1;
+                }
+            }
+            let rate = stat.error_rate();
+            log.push(stat);
+            if rate > self.trigger_rate && bias_steps < self.max_steps {
+                bias_steps += 1;
+            }
+        }
+
+        BiasRun {
+            epochs: log,
+            final_bias_steps: bias_steps,
+            leakage_cost: bias_steps as f64 * self.leakage_per_step,
+        }
+    }
+}
+
+/// Reference run with adaptation disabled (max_steps = 0), for
+/// comparisons.
+pub fn unadapted_run(
+    design: &MaskedDesign,
+    model: &AgingModel,
+    epochs: usize,
+    max_stress: f64,
+    workload: &[Vec<bool>],
+) -> BiasRun {
+    let controller = AdaptiveBiasController { max_steps: 0, ..Default::default() };
+    controller.run(design, model, epochs, max_stress, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_masking::{speedpath_patterns, synthesize, MaskingOptions};
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+    use tm_sim::patterns::random_vectors;
+
+    fn setup() -> (tm_masking::MaskingResult, Vec<Vec<bool>>) {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let result = synthesize(&nl, MaskingOptions::default());
+        let mut workload = random_vectors(4, 400, 77);
+        for (k, s) in speedpath_patterns(&result, 100, 3).into_iter().enumerate() {
+            workload.insert((k * 3 + 1) % workload.len(), s);
+        }
+        (result, workload)
+    }
+
+    #[test]
+    fn adaptation_reduces_error_rate() {
+        let (result, workload) = setup();
+        let model = AgingModel { jitter: 0.0, ..AgingModel::default() };
+        let controller = AdaptiveBiasController::default();
+        let adapted = controller.run(&result.design, &model, 8, 0.9, &workload);
+        let frozen = unadapted_run(&result.design, &model, 8, 0.9, &workload);
+
+        assert!(adapted.final_bias_steps > 0, "controller never triggered: {adapted:?}");
+        // No escapes in either mode while inside the protected band.
+        assert!(adapted.epochs.iter().all(|e| e.escapes == 0));
+        assert!(frozen.epochs.iter().all(|e| e.escapes == 0));
+        // Total masked errors drop with adaptation.
+        let total = |r: &BiasRun| r.epochs.iter().map(|e| e.detected_errors).sum::<usize>();
+        assert!(
+            total(&adapted) < total(&frozen),
+            "adaptation did not help: {} vs {}",
+            total(&adapted),
+            total(&frozen)
+        );
+        assert!(adapted.leakage_cost > 0.0);
+    }
+
+    #[test]
+    fn fresh_silicon_never_triggers() {
+        let (result, workload) = setup();
+        let model = AgingModel { jitter: 0.0, ..AgingModel::default() };
+        let run = AdaptiveBiasController::default().run(&result.design, &model, 3, 0.0, &workload);
+        assert_eq!(run.final_bias_steps, 0);
+        assert_eq!(run.leakage_cost, 0.0);
+        assert!(run.epochs.iter().all(|e| e.detected_errors == 0));
+    }
+}

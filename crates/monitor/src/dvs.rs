@@ -1,0 +1,234 @@
+//! Aggressive dynamic voltage scaling under error masking — the first
+//! of the paper's §6 future-research directions, implemented.
+//!
+//! Lowering V_DD saves quadratic energy but slows every gate; without
+//! protection the supply can only drop until the *first* speed-path
+//! misses the clock. With the error-masking circuit in place, timing
+//! errors on speed-paths are hidden outright (no rollback), so the
+//! supply can keep dropping until the protection band — speed-paths
+//! within `1 − target_fraction` of `Δ` — is exhausted.
+//! [`DvsExplorer`] sweeps the supply, replays a workload through the
+//! timing-accurate simulator at each point, and reports the lowest safe
+//! voltage with and without masking plus the resulting energy saving.
+
+use tm_masking::{inject_and_measure, MaskedDesign};
+use tm_netlist::Delay;
+use tm_sim::timing::TimingSim;
+use tm_sta::Sta;
+
+/// A first-order alpha-power-law delay/energy model for supply scaling.
+///
+/// Delay scales as `V / (V − V_th)^α` (normalized to 1 at `v_nominal`);
+/// dynamic energy scales as `(V / V_nominal)²`.
+#[derive(Clone, Copy, Debug)]
+pub struct VoltageModel {
+    /// Nominal supply (delay factor 1.0, energy factor 1.0).
+    pub v_nominal: f64,
+    /// Threshold voltage.
+    pub v_threshold: f64,
+    /// Velocity-saturation exponent α.
+    pub alpha: f64,
+}
+
+impl Default for VoltageModel {
+    fn default() -> Self {
+        VoltageModel { v_nominal: 1.0, v_threshold: 0.3, alpha: 1.3 }
+    }
+}
+
+impl VoltageModel {
+    /// Gate-delay multiplier at supply `vdd` relative to nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not above the threshold voltage.
+    pub fn delay_factor(&self, vdd: f64) -> f64 {
+        assert!(vdd > self.v_threshold, "supply must exceed threshold");
+        let d = |v: f64| v / (v - self.v_threshold).powf(self.alpha);
+        d(vdd) / d(self.v_nominal)
+    }
+
+    /// Dynamic-energy multiplier at supply `vdd` relative to nominal.
+    pub fn energy_factor(&self, vdd: f64) -> f64 {
+        (vdd / self.v_nominal).powi(2)
+    }
+}
+
+/// One measured point of a DVS sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct DvsPoint {
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Gate-delay multiplier at this supply.
+    pub delay_factor: f64,
+    /// Dynamic-energy multiplier at this supply.
+    pub energy_factor: f64,
+    /// Cycles where a *raw* (unmasked) output mis-sampled.
+    pub raw_errors: usize,
+    /// Cycles where a *masked* output mis-sampled (escapes).
+    pub escapes: usize,
+}
+
+/// Result of a DVS exploration.
+#[derive(Clone, Debug)]
+pub struct DvsSweep {
+    /// Measured points, highest supply first.
+    pub points: Vec<DvsPoint>,
+    /// Lowest supply with zero raw errors — the limit *without*
+    /// masking.
+    pub min_safe_unmasked: Option<f64>,
+    /// Lowest supply with zero escapes — the limit *with* masking.
+    pub min_safe_masked: Option<f64>,
+}
+
+impl DvsSweep {
+    /// Relative dynamic-energy saving enabled by masking: energy at the
+    /// masked limit vs energy at the unmasked limit (0.0 when masking
+    /// buys nothing).
+    pub fn energy_saving(&self, model: &VoltageModel) -> f64 {
+        match (self.min_safe_masked, self.min_safe_unmasked) {
+            (Some(m), Some(u)) if m < u => {
+                1.0 - model.energy_factor(m) / model.energy_factor(u)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Sweeps the supply voltage for a masked design.
+#[derive(Clone, Debug)]
+pub struct DvsExplorer {
+    /// The voltage/delay/energy model.
+    pub model: VoltageModel,
+    /// Lowest supply to try.
+    pub v_min: f64,
+    /// Sweep step (volts).
+    pub v_step: f64,
+    /// Clock period; defaults to the original circuit's `Δ` when
+    /// `None`.
+    pub clock: Option<Delay>,
+}
+
+impl Default for DvsExplorer {
+    fn default() -> Self {
+        DvsExplorer { model: VoltageModel::default(), v_min: 0.80, v_step: 0.01, clock: None }
+    }
+}
+
+impl DvsExplorer {
+    /// Runs the sweep with the given workload vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is unprotected or the sweep range is
+    /// degenerate.
+    pub fn sweep(&self, design: &MaskedDesign, vectors: &[Vec<bool>]) -> DvsSweep {
+        assert!(design.is_protected(), "DVS exploration needs a protected design");
+        assert!(self.v_min < self.model.v_nominal, "sweep range is empty");
+        let clock = self
+            .clock
+            .unwrap_or_else(|| Sta::new(&design.original).critical_path_delay());
+
+        let mut points = Vec::new();
+        let mut vdd = self.model.v_nominal;
+        while vdd >= self.v_min - 1e-12 {
+            let factor = self.model.delay_factor(vdd);
+            let scale = vec![factor; design.combined.num_gates()];
+            let outcome = inject_and_measure(design, &scale, clock, vectors);
+            points.push(DvsPoint {
+                vdd,
+                delay_factor: factor,
+                energy_factor: self.model.energy_factor(vdd),
+                raw_errors: outcome.raw_errors,
+                escapes: outcome.masked_errors,
+            });
+            vdd -= self.v_step;
+        }
+
+        // The lowest safe supply is the *contiguous* clean range walked
+        // from nominal downward — operating below a failing point is
+        // unsafe even if a lower point happens to measure clean.
+        let mut min_safe_unmasked = None;
+        for p in &points {
+            if p.raw_errors == 0 {
+                min_safe_unmasked = Some(p.vdd);
+            } else {
+                break;
+            }
+        }
+        let mut min_safe_masked = None;
+        for p in &points {
+            if p.escapes == 0 {
+                min_safe_masked = Some(p.vdd);
+            } else {
+                break;
+            }
+        }
+
+        DvsSweep { points, min_safe_unmasked, min_safe_masked }
+    }
+}
+
+/// Evaluates an *unmasked* netlist at one supply (for baselines).
+pub fn unmasked_errors_at(
+    netlist: &tm_netlist::Netlist,
+    model: &VoltageModel,
+    vdd: f64,
+    clock: Delay,
+    vectors: &[Vec<bool>],
+) -> usize {
+    let factor = model.delay_factor(vdd);
+    let sim = TimingSim::with_scale(netlist, vec![factor; netlist.num_gates()]);
+    let mut errors = 0;
+    for pair in vectors.windows(2) {
+        if sim.transition(&pair[0], &pair[1], clock).has_error() {
+            errors += 1;
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_masking::{synthesize, MaskingOptions};
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+    use tm_sim::patterns::random_vectors;
+
+    #[test]
+    fn voltage_model_monotone() {
+        let m = VoltageModel::default();
+        assert!((m.delay_factor(1.0) - 1.0).abs() < 1e-12);
+        assert!(m.delay_factor(0.9) > 1.0);
+        assert!(m.delay_factor(0.8) > m.delay_factor(0.9));
+        assert!(m.energy_factor(0.8) < 1.0);
+    }
+
+    #[test]
+    fn masking_extends_the_safe_voltage_range() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let design = synthesize(&nl, MaskingOptions::default()).design;
+        let vectors = random_vectors(4, 300, 4242);
+        let explorer = DvsExplorer { v_min: 0.80, v_step: 0.02, ..Default::default() };
+        let sweep = explorer.sweep(&design, &vectors);
+        let safe_u = sweep.min_safe_unmasked.expect("nominal must be safe");
+        let safe_m = sweep.min_safe_masked.expect("nominal must be safe");
+        assert!(
+            safe_m < safe_u,
+            "masking should tolerate a lower supply: masked {safe_m} vs unmasked {safe_u}"
+        );
+        let saving = sweep.energy_saving(&explorer.model);
+        assert!(saving > 0.0, "no energy saving measured");
+        // Sanity: points are ordered and the nominal point is clean.
+        assert_eq!(sweep.points[0].raw_errors, 0);
+        assert_eq!(sweep.points[0].escapes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed threshold")]
+    fn below_threshold_rejected() {
+        VoltageModel::default().delay_factor(0.2);
+    }
+}

@@ -1,0 +1,174 @@
+//! A Razor-style detect-and-rollback baseline (the §2 alternative the
+//! paper positions against, refs \[5–8\]).
+//!
+//! Razor-class schemes double-sample each output: the main latch at the
+//! clock edge and a shadow latch one margin later. A mismatch flags a
+//! timing error and triggers rollback/replay at a multi-cycle penalty.
+//! Two structural weaknesses the paper calls out are modelled
+//! faithfully:
+//!
+//! - **Bounded detection window**: a transition later than the shadow
+//!   margin corrupts *both* samples identically — a silent error
+//!   ("inability to detect errors due to late transitions outside the
+//!   stability checking period").
+//! - **Rollback cost**: every detection stalls the pipeline for the
+//!   replay penalty, degrading throughput; masking pays area instead
+//!   and keeps throughput at 1.0.
+
+use tm_netlist::{Delay, Netlist};
+use tm_sim::timing::TimingSim;
+
+/// A Razor-style double-sampling error-detection model.
+#[derive(Clone, Copy, Debug)]
+pub struct RazorModel {
+    /// Shadow-latch margin after the main clock edge.
+    pub margin: Delay,
+    /// Cycles lost per detected error (rollback + replay).
+    pub rollback_penalty: usize,
+}
+
+impl Default for RazorModel {
+    fn default() -> Self {
+        RazorModel { margin: Delay::new(1.0), rollback_penalty: 5 }
+    }
+}
+
+/// Counters from one Razor evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RazorOutcome {
+    /// Clock cycles simulated.
+    pub cycles: usize,
+    /// Cycles with a true timing error at some output (main sample ≠
+    /// settled value).
+    pub true_errors: usize,
+    /// Cycles where the shadow comparison flagged a mismatch (recovered
+    /// by rollback).
+    pub detected: usize,
+    /// True-error cycles the shadow missed — silent data corruption.
+    pub undetected: usize,
+    /// Total stall cycles spent on rollback/replay.
+    pub rollback_cycles: usize,
+}
+
+impl RazorOutcome {
+    /// Effective throughput: useful cycles over total (useful + stall).
+    pub fn throughput(&self) -> f64 {
+        let total = self.cycles + self.rollback_cycles;
+        if total == 0 {
+            1.0
+        } else {
+            self.cycles as f64 / total as f64
+        }
+    }
+
+    /// Fraction of true errors the scheme silently missed.
+    pub fn silent_error_fraction(&self) -> f64 {
+        if self.true_errors == 0 {
+            0.0
+        } else {
+            self.undetected as f64 / self.true_errors as f64
+        }
+    }
+}
+
+impl RazorModel {
+    /// Replays a workload through the (unprotected) netlist with
+    /// per-gate delay factors `scale` at clock period `clock`, double
+    /// sampling every primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches.
+    pub fn evaluate(
+        &self,
+        netlist: &Netlist,
+        scale: &[f64],
+        clock: Delay,
+        vectors: &[Vec<bool>],
+    ) -> RazorOutcome {
+        let sim = TimingSim::with_scale(netlist, scale.to_vec());
+        let n_out = netlist.outputs().len();
+        let main_times = vec![clock; n_out];
+        let shadow_times = vec![clock + self.margin; n_out];
+
+        let mut outcome = RazorOutcome::default();
+        for pair in vectors.windows(2) {
+            let main = sim.transition_with_sample_times(&pair[0], &pair[1], &main_times);
+            let shadow = sim.transition_with_sample_times(&pair[0], &pair[1], &shadow_times);
+            outcome.cycles += 1;
+            let mut any_true = false;
+            let mut any_flag = false;
+            let mut any_silent = false;
+            for k in 0..n_out {
+                let true_error = main.sampled[k] != main.settled[k];
+                let flagged = main.sampled[k] != shadow.sampled[k];
+                any_true |= true_error;
+                any_flag |= flagged;
+                any_silent |= true_error && !flagged;
+            }
+            if any_true {
+                outcome.true_errors += 1;
+            }
+            if any_flag {
+                outcome.detected += 1;
+                outcome.rollback_cycles += self.rollback_penalty;
+            }
+            if any_silent {
+                outcome.undetected += 1;
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+    use tm_sim::patterns::random_vectors;
+    use tm_sta::Sta;
+
+    fn setup() -> (Netlist, Delay, Vec<Vec<bool>>) {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let clock = Sta::new(&nl).critical_path_delay();
+        let vectors = random_vectors(4, 600, 5150);
+        (nl, clock, vectors)
+    }
+
+    #[test]
+    fn fresh_silicon_never_rolls_back() {
+        let (nl, clock, vectors) = setup();
+        let razor = RazorModel::default();
+        let r = razor.evaluate(&nl, &vec![1.0; nl.num_gates()], clock, &vectors);
+        assert_eq!(r.true_errors, 0);
+        assert_eq!(r.detected, 0);
+        assert_eq!(r.throughput(), 1.0);
+    }
+
+    #[test]
+    fn moderate_aging_is_detected_at_a_throughput_cost() {
+        let (nl, clock, vectors) = setup();
+        // 8% aging: speed-paths land ~0.56 units late — inside a 1.0
+        // margin, so every true error is caught, at a rollback cost.
+        let razor = RazorModel { margin: Delay::new(1.0), rollback_penalty: 5 };
+        let r = razor.evaluate(&nl, &vec![1.08; nl.num_gates()], clock, &vectors);
+        assert!(r.true_errors > 0);
+        assert_eq!(r.undetected, 0, "{r:?}");
+        assert!(r.throughput() < 1.0);
+    }
+
+    #[test]
+    fn late_transitions_outside_the_window_are_silent() {
+        let (nl, clock, vectors) = setup();
+        // 25% aging pushes the 7-unit paths 1.75 units late — beyond a
+        // 1.0-unit shadow margin: both samples read the same stale
+        // value and the error goes undetected (the paper's §1 critique).
+        let razor = RazorModel { margin: Delay::new(1.0), rollback_penalty: 5 };
+        let r = razor.evaluate(&nl, &vec![1.25; nl.num_gates()], clock, &vectors);
+        assert!(r.true_errors > 0);
+        assert!(r.undetected > 0, "expected silent errors: {r:?}");
+        assert!(r.silent_error_fraction() > 0.0);
+    }
+}

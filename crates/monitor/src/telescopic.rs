@@ -1,0 +1,158 @@
+//! Telescopic-unit (variable-latency) operation — the SPCF's original
+//! application (paper §3, refs \[27, 28\]), built on the masking
+//! circuit's indicator outputs.
+//!
+//! A telescopic unit clocks at the *target* period `Δ_y < Δ` and takes
+//! one extra cycle whenever a speed-path pattern arrives. The indicator
+//! `e` is exactly the required hold signal: `Σ_y ⇒ e` guarantees every
+//! pattern that needs the second cycle gets it, so correctness is
+//! inherited from the masking synthesis. Throughput then trades against
+//! the faster clock:
+//!
+//! ```text
+//! speedup = Δ · cycles / (Δ_y · (cycles + stalls))
+//! ```
+
+use tm_masking::MaskedDesign;
+use tm_netlist::Delay;
+use tm_sim::timing::TimingSim;
+use tm_sta::Sta;
+
+/// Counters from a telescopic evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TelescopicOutcome {
+    /// Vector transitions evaluated.
+    pub cycles: usize,
+    /// Cycles where some indicator fired (second cycle taken).
+    pub stalls: usize,
+    /// Fast-clock period used (`Δ_y`).
+    pub fast_clock: Delay,
+    /// Baseline single-cycle period (`Δ`).
+    pub base_clock: Delay,
+    /// Cycles where a *single-cycle* sample at `Δ_y` would have been
+    /// wrong and the indicator did not fire — must be zero (correctness
+    /// of the variable-latency scheme).
+    pub violations: usize,
+}
+
+impl TelescopicOutcome {
+    /// Fraction of cycles taking the extra cycle.
+    pub fn stall_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / self.cycles as f64
+        }
+    }
+
+    /// Wall-clock speedup over fixed single-cycle operation at `Δ`.
+    pub fn speedup(&self) -> f64 {
+        if self.cycles == 0 {
+            1.0
+        } else {
+            (self.base_clock.units() * self.cycles as f64)
+                / (self.fast_clock.units() * (self.cycles + self.stalls) as f64)
+        }
+    }
+}
+
+/// Evaluates variable-latency operation of a masked design: clock at
+/// `Δ_y = target_fraction × Δ`, take a second cycle whenever `e` fires.
+///
+/// The indicator is sampled at the fast clock edge from the masking
+/// circuit (which has ≥ 20 % slack over `Δ`, hence comfortably more
+/// over `Δ_y`... its own arrival is checked against the fast period and
+/// the function panics if the masking circuit cannot keep up).
+///
+/// # Panics
+///
+/// Panics if the design is unprotected or the masking circuit's own
+/// critical path exceeds the fast clock (then telescopic operation at
+/// this `target_fraction` is physically impossible).
+pub fn evaluate_telescopic(
+    design: &MaskedDesign,
+    target_fraction: f64,
+    vectors: &[Vec<bool>],
+) -> TelescopicOutcome {
+    assert!(design.is_protected(), "telescopic operation needs indicators");
+    let delta = Sta::new(&design.original).critical_path_delay();
+    let fast = delta * target_fraction;
+    let mask_delay = Sta::new(&design.masking).critical_path_delay();
+    assert!(
+        mask_delay <= fast,
+        "masking circuit ({mask_delay:?}) cannot keep up with the fast clock ({fast:?})"
+    );
+
+    let (instrumented, probes) = design.instrumented();
+    let sim = TimingSim::new(&instrumented);
+    let mut outcome = TelescopicOutcome {
+        fast_clock: fast,
+        base_clock: delta,
+        ..Default::default()
+    };
+    for pair in vectors.windows(2) {
+        let r = sim.transition(&pair[0], &pair[1], fast);
+        outcome.cycles += 1;
+        let mut stall = false;
+        let mut violation = false;
+        for p in &probes {
+            let e = r.sampled[p.e_position];
+            stall |= e;
+            // Would the single-cycle raw sample have been wrong while e
+            // stayed silent?
+            if !e && r.sampled[p.raw_position] != r.settled[p.raw_position] {
+                violation = true;
+            }
+        }
+        if stall {
+            outcome.stalls += 1;
+        }
+        if violation {
+            outcome.violations += 1;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_masking::{speedpath_patterns, synthesize, MaskingOptions};
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+    use tm_sim::patterns::random_vectors;
+
+    #[test]
+    fn telescopic_is_correct_and_faster() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let result = synthesize(&nl, MaskingOptions::default());
+        let mut workload = random_vectors(4, 500, 9);
+        for (k, s) in speedpath_patterns(&result, 60, 2).into_iter().enumerate() {
+            workload.insert((k * 5 + 2) % workload.len(), s);
+        }
+        let outcome = evaluate_telescopic(&result.design, 0.9, &workload);
+        assert_eq!(outcome.violations, 0, "{outcome:?}");
+        assert!(outcome.stalls > 0, "stress workload must exercise speed-paths");
+        assert!(outcome.stall_rate() < 1.0);
+        // Speedup > 1 as long as the stall rate is below Δ/Δ_y − 1 ≈ 11%.
+        if outcome.stall_rate() < 0.11 {
+            assert!(outcome.speedup() > 1.0, "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn no_speed_paths_means_no_stalls() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let result = synthesize(&nl, MaskingOptions::default());
+        // A workload that never leaves the 0-pattern: no transitions
+        // sensitize anything late.
+        let workload = vec![vec![false; 4]; 50];
+        let outcome = evaluate_telescopic(&result.design, 0.9, &workload);
+        assert_eq!(outcome.violations, 0);
+        // With a constant pattern the indicator is constant too: the
+        // unit either always or never stalls — and stays correct either
+        // way (speedup is workload-dependent, correctness is not).
+        assert!(outcome.stall_rate() == 0.0 || outcome.stall_rate() == 1.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! ISCAS `.bench` format reading and writing.
+//!
+//! The ISCAS-85 circuits the paper evaluates (C432, C880, C2670, …) are
+//! customarily distributed in `.bench` format:
+//!
+//! ```text
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! G17 = NOT(G10)
+//! ```
+//!
+//! This module parses that format directly into a mapped [`Netlist`]
+//! over the bundled library, so users who have the real benchmark files
+//! can run the actual circuits through the flow instead of the
+//! synthetic stand-ins.
+
+use crate::library::Library;
+use crate::{NetId, Netlist};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error produced while parsing `.bench` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    line: usize,
+    message: String,
+}
+
+impl ParseBenchError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseBenchError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseBenchError {}
+
+/// Maps a `.bench` primitive and arity onto a library cell name.
+///
+/// Wide AND/OR/NAND/NOR primitives are legal in `.bench`; arities
+/// beyond the library's widest cell are decomposed by the parser.
+fn primitive_cell(op: &str, arity: usize) -> Option<String> {
+    let name = match (op, arity) {
+        ("NOT", 1) => "INV".to_string(),
+        ("BUF" | "BUFF", 1) => "BUF".to_string(),
+        ("AND" | "NAND" | "OR" | "NOR", 2..=4) => format!("{op}{arity}"),
+        ("XOR", 2) => "XOR2".to_string(),
+        ("XNOR", 2) => "XNOR2".to_string(),
+        _ => return None,
+    };
+    Some(name)
+}
+
+/// Parses ISCAS `.bench` text into a mapped netlist.
+///
+/// Wide gates are decomposed into trees of the library's 2–4-input
+/// cells (inverting forms keep their polarity by splitting into an
+/// AND/OR tree plus a final inverting stage). Signals may be used
+/// before definition.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on syntax errors, unknown primitives,
+/// undefined signals, or cyclic definitions.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_netlist::{bench_format::parse_bench, library::lsi10k_like};
+///
+/// let src = "\
+/// ## a tiny circuit
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// t = NAND(a, b)
+/// y = NOT(t)
+/// ";
+/// let nl = parse_bench(src, Arc::new(lsi10k_like()))?;
+/// assert_eq!(nl.eval(&[true, true]), vec![true]); // y = a & b
+/// # Ok::<(), tm_netlist::bench_format::ParseBenchError>(())
+/// ```
+pub fn parse_bench(text: &str, library: Arc<Library>) -> Result<Netlist, ParseBenchError> {
+    struct RawGate {
+        line: usize,
+        output: String,
+        op: String,
+        inputs: Vec<String>,
+    }
+
+    let mut input_names = Vec::new();
+    let mut output_names = Vec::new();
+    let mut gates: Vec<RawGate> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT") {
+            let name = extract_parens(rest, line, line_no)?;
+            input_names.push(name);
+        } else if let Some(rest) = upper.strip_prefix("OUTPUT") {
+            let name = extract_parens(rest, line, line_no)?;
+            output_names.push(name);
+        } else if let Some(eq) = line.find('=') {
+            let output = line[..eq].trim().to_string();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| ParseBenchError::new(line_no, "expected OP(args)"))?;
+            let close = rhs
+                .rfind(')')
+                .ok_or_else(|| ParseBenchError::new(line_no, "unbalanced parentheses"))?;
+            let op = rhs[..open].trim().to_ascii_uppercase();
+            let inputs: Vec<String> = rhs[open + 1..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if inputs.is_empty() {
+                return Err(ParseBenchError::new(line_no, "gate with no inputs"));
+            }
+            gates.push(RawGate { line: line_no, output, op, inputs });
+        } else {
+            return Err(ParseBenchError::new(line_no, format!("unrecognized line {line:?}")));
+        }
+    }
+
+    let mut nl = Netlist::new("bench", library.clone());
+    let mut net_of: HashMap<String, NetId> = HashMap::new();
+    for name in &input_names {
+        if net_of.contains_key(name) {
+            return Err(ParseBenchError::new(0, format!("duplicate input {name}")));
+        }
+        net_of.insert(name.clone(), nl.add_input(name.clone()));
+    }
+    {
+        let mut seen = HashMap::new();
+        for g in &gates {
+            if seen.insert(g.output.clone(), g.line).is_some() {
+                return Err(ParseBenchError::new(g.line, format!("signal {} defined twice", g.output)));
+            }
+        }
+    }
+
+    // Emit gates once their fanins are all defined (forward refs ok).
+    let mut remaining: Vec<&RawGate> = gates.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|g| {
+            if !g.inputs.iter().all(|i| net_of.contains_key(i)) {
+                return true;
+            }
+            let fanins: Vec<NetId> = g.inputs.iter().map(|i| net_of[i]).collect();
+            let net = build_primitive(&mut nl, &library, &g.op, &fanins, &g.output);
+            match net {
+                Some(n) => {
+                    net_of.insert(g.output.clone(), n);
+                    false
+                }
+                None => true, // leave in place; flagged below
+            }
+        });
+        if remaining.len() == before {
+            let g = remaining[0];
+            let msg = if primitive_cell(&g.op, g.inputs.len().min(4)).is_none()
+                && !matches!(g.op.as_str(), "AND" | "OR" | "NAND" | "NOR")
+            {
+                format!("unknown primitive {}", g.op)
+            } else {
+                "cyclic or undefined signal dependency".to_string()
+            };
+            return Err(ParseBenchError::new(g.line, msg));
+        }
+    }
+
+    for name in &output_names {
+        match net_of.get(name) {
+            Some(&n) => nl.mark_output(n),
+            None => return Err(ParseBenchError::new(0, format!("output {name} never defined"))),
+        }
+    }
+    Ok(nl)
+}
+
+fn extract_parens(rest: &str, original: &str, line_no: usize) -> Result<String, ParseBenchError> {
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| ParseBenchError::new(line_no, format!("malformed declaration {original:?}")))?;
+    // Preserve the original case of the signal name.
+    let start = original.find('(').expect("checked") + 1;
+    let end = original.rfind(')').expect("checked");
+    let _ = inner;
+    Ok(original[start..end].trim().to_string())
+}
+
+/// Builds one `.bench` primitive, decomposing wide gates into trees.
+fn build_primitive(
+    nl: &mut Netlist,
+    lib: &Arc<Library>,
+    op: &str,
+    fanins: &[NetId],
+    name: &str,
+) -> Option<NetId> {
+    let arity = fanins.len();
+    if let Some(cell) = primitive_cell(op, arity) {
+        let id = lib.find(&cell)?;
+        return Some(nl.add_gate(id, fanins, name.to_string()));
+    }
+    // Wide gates: reduce with the non-inverting tree, invert at the end
+    // for NAND/NOR. BUF/NOT of wrong arity fall through to None.
+    let (tree_op, invert) = match op {
+        "AND" => ("AND", false),
+        "OR" => ("OR", false),
+        "NAND" => ("AND", true),
+        "NOR" => ("OR", true),
+        _ => return None,
+    };
+    if arity < 2 {
+        return None;
+    }
+    let mut layer: Vec<NetId> = fanins.to_vec();
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+        for (j, chunk) in layer.chunks(4).enumerate() {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+                continue;
+            }
+            let cell = lib.find(&format!("{tree_op}{}", chunk.len()))?;
+            next.push(nl.add_gate(cell, chunk, format!("{name}_t{level}_{j}")));
+        }
+        layer = next;
+        level += 1;
+    }
+    let out = if invert {
+        nl.add_gate(lib.find("INV")?, &[layer[0]], name.to_string())
+    } else {
+        layer[0]
+    };
+    Some(out)
+}
+
+/// Serializes a mapped netlist to `.bench` text.
+///
+/// Only possible when every cell maps onto a `.bench` primitive
+/// (INV/BUF/AND/OR/NAND/NOR/XOR/XNOR families and constant cells are
+/// written as one-gate constructs; AOI/OAI/MUX cells are not
+/// representable).
+///
+/// # Errors
+///
+/// Returns the offending cell name when a gate has no `.bench`
+/// equivalent.
+pub fn write_bench(netlist: &Netlist) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# generated by timemask (tm-netlist): {}", netlist.name());
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.net_name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.net_name(o));
+    }
+    for (_, g) in netlist.gates() {
+        let cell = netlist.library().cell(g.cell());
+        let base = cell.name().trim_end_matches("_F");
+        let op = match base {
+            "INV" => "NOT".to_string(),
+            "BUF" => "BUFF".to_string(),
+            n if n.starts_with("NAND") => "NAND".to_string(),
+            n if n.starts_with("NOR") => "NOR".to_string(),
+            n if n.starts_with("AND") => "AND".to_string(),
+            n if n.starts_with("OR") => "OR".to_string(),
+            "XOR2" => "XOR".to_string(),
+            "XNOR2" => "XNOR".to_string(),
+            other => return Err(format!("cell {other} has no .bench primitive")),
+        };
+        let args: Vec<&str> = g.inputs().iter().map(|&n| netlist.net_name(n)).collect();
+        let _ = writeln!(out, "{} = {}({})", netlist.net_name(g.output()), op, args.join(", "));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::lsi10k_like;
+
+    fn lib() -> Arc<Library> {
+        Arc::new(lsi10k_like())
+    }
+
+    #[test]
+    fn parses_small_circuit() {
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = NOR(t, c)\n";
+        let nl = parse_bench(src, lib()).expect("valid");
+        for m in 0..8u64 {
+            let a = m & 1 != 0;
+            let b = m & 2 != 0;
+            let c = m & 4 != 0;
+            assert_eq!(nl.eval(&[a, b, c]), vec![!((a && b) || c)], "m={m}");
+        }
+    }
+
+    #[test]
+    fn wide_gates_decompose() {
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nOUTPUT(y)\ny = NAND(a, b, c, d, e, f)\n";
+        let nl = parse_bench(src, lib()).expect("valid");
+        for m in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(nl.eval(&bits), vec![m != 63], "m={m}");
+        }
+    }
+
+    #[test]
+    fn forward_references_and_comments() {
+        let src = "# header\nINPUT(a)\nOUTPUT(y)\ny = NOT(t)\nt = BUFF(a)\n";
+        let nl = parse_bench(src, lib()).expect("valid");
+        assert_eq!(nl.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", lib()).expect_err("bad op");
+        assert_eq!(e.line(), 3);
+        assert!(e.to_string().contains("unknown primitive"));
+        let e = parse_bench("INPUT(a)\nOUTPUT(y)\n", lib()).expect_err("undefined");
+        assert!(e.to_string().contains("never defined"));
+        let e = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(y)\n", lib())
+            .expect_err("cycle");
+        assert!(e.to_string().contains("cyclic"));
+    }
+
+    #[test]
+    fn roundtrip_through_bench() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nt = XOR(a, b)\ny = NAND(t, a)\nz = NOT(t)\n";
+        let nl = parse_bench(src, lib()).expect("valid");
+        let text = write_bench(&nl).expect("serializable");
+        let back = parse_bench(&text, lib()).expect("roundtrip");
+        for m in 0..4u64 {
+            let bits: Vec<bool> = (0..2).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(nl.eval(&bits), back.eval(&bits), "m={m}");
+        }
+    }
+
+    #[test]
+    fn parsed_circuits_are_structurally_sound() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+n1 = NAND(a, b)\nn2 = NAND(n1, c)\nn3 = NAND(n2, d)\nn4 = NAND(n3, a)\ny = OR(n4, b)\n";
+        let nl = parse_bench(src, lib()).expect("valid");
+        assert!(nl.check().is_empty());
+        assert_eq!(nl.depth(), 5);
+        // (the full SPCF + masking flow on .bench input is exercised in
+        // the workspace integration tests)
+    }
+}

@@ -1,0 +1,428 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! BLIF's `.names` construct *is* a technology-independent SOP node, so
+//! the natural exchange type is [`SopNetwork`]. The supported subset is
+//! the combinational core: `.model`, `.inputs`, `.outputs`, `.names`
+//! (single-output cover rows), `.end`, comments and `\` line
+//! continuations. Latches and subcircuits are out of scope — the paper's
+//! flow operates on combinational blocks between registers.
+
+use crate::sop_network::SopNetwork;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use tm_logic::{qm, Cube, Sop, TruthTable};
+
+/// Error produced while parsing BLIF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    line: usize,
+    message: String,
+}
+
+impl ParseBlifError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseBlifError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending input line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseBlifError {}
+
+/// Parses a BLIF document into a [`SopNetwork`].
+///
+/// Signals may be used before their defining `.names` block appears; a
+/// two-pass scheme resolves forward references. Covers with output value
+/// `0` (off-set rows) are complemented into on-set covers via exact
+/// two-level minimization, so node fanin counts must stay within
+/// [`tm_logic::tt::MAX_TT_VARS`].
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on malformed syntax, undefined signals,
+/// duplicate definitions, or cyclic node dependencies.
+///
+/// # Examples
+///
+/// ```
+/// use tm_netlist::blif::parse_blif;
+///
+/// let src = "\
+/// .model tiny
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 11 1
+/// .end
+/// ";
+/// let net = parse_blif(src)?;
+/// assert_eq!(net.eval(&[true, true]), vec![true]);
+/// assert_eq!(net.eval(&[true, false]), vec![false]);
+/// # Ok::<(), tm_netlist::blif::ParseBlifError>(())
+/// ```
+pub fn parse_blif(text: &str) -> Result<SopNetwork, ParseBlifError> {
+    struct RawNames {
+        line: usize,
+        signals: Vec<String>, // fanins... , output
+        rows: Vec<(String, char)>,
+    }
+
+    let mut model_name = String::from("unnamed");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut names_blocks: Vec<RawNames> = Vec::new();
+
+    // Join continuation lines, tracking original line numbers.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let without_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = without_comment.trim_end();
+        let (content, continued) = match trimmed.strip_suffix('\\') {
+            Some(stripped) => (stripped, true),
+            None => (trimmed, false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(content);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    logical_lines.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((line_no, content.to_string()));
+                } else if !content.trim().is_empty() {
+                    logical_lines.push((line_no, content.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        logical_lines.push((start, acc));
+    }
+
+    let mut idx = 0;
+    while idx < logical_lines.len() {
+        let (line_no, line) = &logical_lines[idx];
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().unwrap_or("");
+        match head {
+            ".model" => {
+                model_name = tokens.next().unwrap_or("unnamed").to_string();
+                idx += 1;
+            }
+            ".inputs" => {
+                input_names.extend(tokens.map(str::to_string));
+                idx += 1;
+            }
+            ".outputs" => {
+                output_names.extend(tokens.map(str::to_string));
+                idx += 1;
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(ParseBlifError::new(*line_no, ".names needs at least an output"));
+                }
+                let mut rows = Vec::new();
+                idx += 1;
+                while idx < logical_lines.len() {
+                    let (row_line, row) = &logical_lines[idx];
+                    if row.trim_start().starts_with('.') {
+                        break;
+                    }
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (plane, out) = match (signals.len() - 1, parts.as_slice()) {
+                        (0, [o]) => (String::new(), *o),
+                        (_, [p, o]) => ((*p).to_string(), *o),
+                        _ => {
+                            return Err(ParseBlifError::new(
+                                *row_line,
+                                format!("malformed cover row {row:?}"),
+                            ))
+                        }
+                    };
+                    if plane.len() != signals.len() - 1 {
+                        return Err(ParseBlifError::new(
+                            *row_line,
+                            format!(
+                                "cover row width {} does not match {} fanins",
+                                plane.len(),
+                                signals.len() - 1
+                            ),
+                        ));
+                    }
+                    let out_char = out.chars().next().unwrap_or('?');
+                    if out_char != '0' && out_char != '1' {
+                        return Err(ParseBlifError::new(*row_line, "output value must be 0 or 1"));
+                    }
+                    rows.push((plane, out_char));
+                    idx += 1;
+                }
+                names_blocks.push(RawNames { line: *line_no, signals, rows });
+            }
+            ".end" => {
+                idx += 1;
+            }
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(ParseBlifError::new(
+                    *line_no,
+                    format!("unsupported construct {head} (combinational subset only)"),
+                ));
+            }
+            _ => {
+                return Err(ParseBlifError::new(*line_no, format!("unknown directive {head:?}")));
+            }
+        }
+    }
+
+    // Resolve definition order (forward references allowed): repeatedly
+    // emit blocks whose fanins are all defined.
+    let mut net = SopNetwork::new(model_name);
+    let mut defined: HashMap<String, crate::sop_network::SigId> = HashMap::new();
+    for name in &input_names {
+        if defined.contains_key(name) {
+            return Err(ParseBlifError::new(0, format!("duplicate input {name}")));
+        }
+        defined.insert(name.clone(), net.add_input(name.clone()));
+    }
+
+    let mut remaining: Vec<&RawNames> = names_blocks.iter().collect();
+    // Duplicate output definitions check.
+    {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for b in &names_blocks {
+            let out = b.signals.last().expect("nonempty").as_str();
+            if seen.insert(out, b.line).is_some() {
+                return Err(ParseBlifError::new(b.line, format!("signal {out} defined twice")));
+            }
+            if input_names.iter().any(|i| i == out) {
+                return Err(ParseBlifError::new(b.line, format!("signal {out} shadows an input")));
+            }
+        }
+    }
+
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        remaining.retain(|block| {
+            let fanins = &block.signals[..block.signals.len() - 1];
+            if !fanins.iter().all(|f| defined.contains_key(f)) {
+                return true; // keep for a later pass
+            }
+            let out_name = block.signals.last().expect("nonempty").clone();
+            let arity = fanins.len();
+            let fanin_ids = fanins.iter().map(|f| defined[f]).collect::<Vec<_>>();
+
+            let cover = rows_to_cover(arity, &block.rows);
+            let sig = net.add_node(out_name.clone(), fanin_ids, cover);
+            defined.insert(out_name, sig);
+            progressed = true;
+            false
+        });
+        if !remaining.is_empty() && !progressed {
+            let b = remaining[0];
+            return Err(ParseBlifError::new(
+                b.line,
+                "cyclic or undefined signal dependency in .names blocks",
+            ));
+        }
+    }
+
+    for name in &output_names {
+        match defined.get(name) {
+            Some(&sig) => net.mark_output(sig),
+            None => {
+                return Err(ParseBlifError::new(0, format!("output {name} never defined")));
+            }
+        }
+    }
+    Ok(net)
+}
+
+fn rows_to_cover(arity: usize, rows: &[(String, char)]) -> Sop {
+    let mut on_rows: Vec<Cube> = Vec::new();
+    let mut off_rows: Vec<Cube> = Vec::new();
+    for (plane, out) in rows {
+        let mut lits: Vec<(usize, bool)> = Vec::new();
+        for (pos, ch) in plane.chars().enumerate() {
+            match ch {
+                '1' => lits.push((pos, true)),
+                '0' => lits.push((pos, false)),
+                _ => {}
+            }
+        }
+        let cube = Cube::from_literals(arity.max(1), &lits);
+        if *out == '1' {
+            on_rows.push(cube);
+        } else {
+            off_rows.push(cube);
+        }
+    }
+    if !off_rows.is_empty() {
+        // Off-set rows define the complement; on-set = NOT(union of rows).
+        let off = TruthTable::from_sop(arity, &Sop::from_cubes(arity, off_rows));
+        qm::minimize(&!&off, &TruthTable::zero(arity))
+    } else {
+        Sop::from_cubes(arity, on_rows)
+    }
+}
+
+/// Serializes a [`SopNetwork`] to BLIF text.
+///
+/// The output round-trips through [`parse_blif`] to an equivalent
+/// network (same interface and behaviour).
+pub fn write_blif(net: &SopNetwork) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", net.name()));
+    out.push_str(".inputs");
+    for &i in net.inputs() {
+        out.push_str(&format!(" {}", net.sig_name(i)));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for &o in net.outputs() {
+        out.push_str(&format!(" {}", net.sig_name(o)));
+    }
+    out.push('\n');
+    for sig in net.node_sigs() {
+        let node = net.node_of(sig).expect("node sig");
+        out.push_str(".names");
+        for &f in node.inputs() {
+            out.push_str(&format!(" {}", net.sig_name(f)));
+        }
+        out.push_str(&format!(" {}\n", net.sig_name(sig)));
+        let arity = node.inputs().len();
+        for cube in node.cover().cubes() {
+            let mut plane = String::with_capacity(arity);
+            for pos in 0..arity {
+                plane.push(match cube.literal(pos) {
+                    Some(true) => '1',
+                    Some(false) => '0',
+                    None => '-',
+                });
+            }
+            if arity == 0 {
+                out.push_str("1\n");
+            } else {
+                out.push_str(&format!("{plane} 1\n"));
+            }
+        }
+        if node.cover().is_empty() {
+            // Constant-zero node: BLIF convention is an empty cover, which
+            // is exactly "no rows" — nothing to emit.
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_and() {
+        let net = parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+            .expect("valid blif");
+        assert_eq!(net.inputs().len(), 2);
+        assert_eq!(net.eval(&[true, true]), vec![true]);
+        assert_eq!(net.eval(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn parse_dontcare_rows_and_comments() {
+        let src = "# comment\n.model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-1 1\n01- 1\n.end\n";
+        let net = parse_blif(src).expect("valid");
+        for m in 0..8u64 {
+            let a = m & 1 != 0;
+            let b = m & 2 != 0;
+            let c = m & 4 != 0;
+            let expect = (a && c) || (!a && b);
+            assert_eq!(net.eval(&[a, b, c]), vec![expect], "m={m}");
+        }
+    }
+
+    #[test]
+    fn parse_offset_rows() {
+        // y defined by its off-set: y=0 iff a=1,b=1 → y = NAND.
+        let src = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let net = parse_blif(src).expect("valid");
+        assert_eq!(net.eval(&[true, true]), vec![false]);
+        assert_eq!(net.eval(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn parse_forward_references() {
+        let src = ".model m\n.inputs a b\n.outputs y\n.names t y\n1 1\n.names a b t\n11 1\n.end\n";
+        let net = parse_blif(src).expect("forward refs resolve");
+        assert_eq!(net.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn parse_line_continuation() {
+        let src = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let net = parse_blif(src).expect("continuation");
+        assert_eq!(net.inputs().len(), 2);
+    }
+
+    #[test]
+    fn constant_nodes() {
+        let src = ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let net = parse_blif(src).expect("constants");
+        assert_eq!(net.eval(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let err = parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n12 1\n.end\n")
+            .expect_err("bad row");
+        assert_eq!(err.line(), 5);
+        let err = parse_blif(".model m\n.latch a b\n.end\n").expect_err("latch");
+        assert!(err.to_string().contains("unsupported"));
+        let err = parse_blif(".model m\n.inputs a\n.outputs y\n.end\n").expect_err("undefined");
+        assert!(err.to_string().contains("never defined"));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let src = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n";
+        assert!(parse_blif(src).is_err());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let src = ".model m\n.inputs a\n.outputs y\n.names z y\n1 1\n.names y z\n1 1\n.end\n";
+        let err = parse_blif(src).expect_err("cycle");
+        assert!(err.to_string().contains("cyclic"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = ".model rt\n.inputs a b c\n.outputs y z\n.names a b t\n11 1\n00 1\n.names t c y\n1- 1\n-1 1\n.names a z\n0 1\n.end\n";
+        let net = parse_blif(src).expect("valid");
+        let text = write_blif(&net);
+        let net2 = parse_blif(&text).expect("roundtrip parses");
+        for m in 0..8u64 {
+            let a: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(net.eval(&a), net2.eval(&a), "m={m}");
+        }
+    }
+}

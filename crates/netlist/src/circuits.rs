@@ -1,0 +1,403 @@
+//! Exactly-specified reference circuits.
+//!
+//! [`comparator2`] reproduces the paper's Fig. 2 worked example
+//! gate-for-gate; the others are classic arithmetic/control blocks used
+//! by the examples, tests, and the synthetic benchmark suites.
+
+use crate::library::Library;
+use crate::netlist::Netlist;
+use crate::types::NetId;
+use std::sync::Arc;
+
+/// The paper's 2-bit comparator (Fig. 2a): output `y = (a1a0 >= b1b0)`.
+///
+/// Built from the optimal factored form of Eqn. 3,
+/// `y = a1·b̄1 + (a0 + b̄0)(a1 + b̄1)`, with unit-delay inverters and
+/// 2-unit two-input gates. The critical path delay is 7 units and the
+/// speed-paths within 10 % of it run through both inverters, exactly as
+/// highlighted in the paper.
+///
+/// Input order: `a0, a1, b0, b1`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_netlist::{circuits::comparator2, library::lsi10k_like};
+///
+/// let nl = comparator2(Arc::new(lsi10k_like()));
+/// // 2 >= 1
+/// assert_eq!(nl.eval(&[false, true, true, false]), vec![true]);
+/// // 1 < 2
+/// assert_eq!(nl.eval(&[true, false, false, true]), vec![false]);
+/// ```
+pub fn comparator2(library: Arc<Library>) -> Netlist {
+    let lib = library.clone();
+    let mut nl = Netlist::new("comparator2", library);
+    let a0 = nl.add_input("a0");
+    let a1 = nl.add_input("a1");
+    let b0 = nl.add_input("b0");
+    let b1 = nl.add_input("b1");
+    let nb0 = nl.add_gate(lib.expect("INV"), &[b0], "nb0");
+    let nb1 = nl.add_gate(lib.expect("INV"), &[b1], "nb1");
+    let t1 = nl.add_gate(lib.expect("AND2"), &[a1, nb1], "t1"); // a1·b̄1
+    let t2 = nl.add_gate(lib.expect("OR2"), &[a0, nb0], "t2"); // a0 + b̄0
+    let t3 = nl.add_gate(lib.expect("OR2"), &[a1, nb1], "t3"); // a1 + b̄1
+    let t4 = nl.add_gate(lib.expect("AND2"), &[t2, t3], "t4");
+    let y = nl.add_gate(lib.expect("OR2"), &[t1, t4], "y");
+    nl.mark_output(y);
+    nl
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..a(n-1), b0..b(n-1), cin`,
+/// outputs `s0..s(n-1), cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_adder(library: Arc<Library>, n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let lib = library.clone();
+    let mut nl = Netlist::new(format!("adder{n}"), library);
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let mut carry = nl.add_input("cin");
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let axb = nl.add_gate(lib.expect("XOR2"), &[a[i], b[i]], format!("axb{i}"));
+        let s = nl.add_gate(lib.expect("XOR2"), &[axb, carry], format!("s{i}"));
+        let ab = nl.add_gate(lib.expect("AND2"), &[a[i], b[i]], format!("ab{i}"));
+        let pc = nl.add_gate(lib.expect("AND2"), &[axb, carry], format!("pc{i}"));
+        carry = nl.add_gate(lib.expect("OR2"), &[ab, pc], format!("c{i}"));
+        sums.push(s);
+    }
+    for s in sums {
+        nl.mark_output(s);
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// A small `n`-bit ALU: `op1 op0` select among AND, OR, XOR, ADD
+/// (00/01/10/11). Inputs `a*, b*, op0, op1`; outputs `y0..y(n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn mini_alu(library: Arc<Library>, n: usize) -> Netlist {
+    assert!(n > 0, "ALU width must be positive");
+    let lib = library.clone();
+    let mut nl = Netlist::new(format!("alu{n}"), library);
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let op0 = nl.add_input("op0");
+    let op1 = nl.add_input("op1");
+
+    // Adder chain (carry-in 0 ⇒ first carry is a&b).
+    let mut carry: Option<NetId> = None;
+    let mut add_bits = Vec::with_capacity(n);
+    for i in 0..n {
+        let axb = nl.add_gate(lib.expect("XOR2"), &[a[i], b[i]], format!("axb{i}"));
+        let ab = nl.add_gate(lib.expect("AND2"), &[a[i], b[i]], format!("ab{i}"));
+        match carry {
+            None => {
+                add_bits.push(axb);
+                carry = Some(ab);
+            }
+            Some(c) => {
+                let s = nl.add_gate(lib.expect("XOR2"), &[axb, c], format!("sum{i}"));
+                let pc = nl.add_gate(lib.expect("AND2"), &[axb, c], format!("pc{i}"));
+                let nc = nl.add_gate(lib.expect("OR2"), &[ab, pc], format!("carry{i}"));
+                add_bits.push(s);
+                carry = Some(nc);
+            }
+        }
+    }
+
+    for i in 0..n {
+        let and = nl.add_gate(lib.expect("AND2"), &[a[i], b[i]], format!("and_{i}"));
+        let or = nl.add_gate(lib.expect("OR2"), &[a[i], b[i]], format!("or_{i}"));
+        let xor = nl.add_gate(lib.expect("XOR2"), &[a[i], b[i]], format!("xor_{i}"));
+        // level 1: op0 chooses within pairs.
+        let lo = nl.add_gate(lib.expect("MUX2"), &[and, or, op0], format!("lo_{i}"));
+        let hi = nl.add_gate(lib.expect("MUX2"), &[xor, add_bits[i], op0], format!("hi_{i}"));
+        let y = nl.add_gate(lib.expect("MUX2"), &[lo, hi, op1], format!("y{i}"));
+        nl.mark_output(y);
+    }
+    nl
+}
+
+/// An `n`-input priority encoder: inputs `r0..r(n-1)` (r0 highest
+/// priority), outputs `g0..g(n-1)` (one-hot grant) and `valid`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn priority_encoder(library: Arc<Library>, n: usize) -> Netlist {
+    assert!(n > 0, "encoder width must be positive");
+    let lib = library.clone();
+    let mut nl = Netlist::new(format!("prio{n}"), library);
+    let reqs: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("r{i}"))).collect();
+    // none_before[i] = !(r0 | … | r(i-1))
+    let mut any_so_far: Option<NetId> = None;
+    let mut grants = Vec::with_capacity(n);
+    for (i, &req) in reqs.iter().enumerate() {
+        let g = match any_so_far {
+            None => {
+                // grant0 = r0; buffered so the output has its own net.
+                nl.add_gate(lib.expect("BUF"), &[req], format!("g{i}"))
+            }
+            Some(any) => {
+                let none = nl.add_gate(lib.expect("INV"), &[any], format!("none{i}"));
+                nl.add_gate(lib.expect("AND2"), &[req, none], format!("g{i}"))
+            }
+        };
+        grants.push(g);
+        any_so_far = Some(match any_so_far {
+            None => req,
+            Some(any) => nl.add_gate(lib.expect("OR2"), &[any, req], format!("any{i}")),
+        });
+    }
+    for g in grants {
+        nl.mark_output(g);
+    }
+    let valid = nl.add_gate(lib.expect("BUF"), &[any_so_far.expect("n>0")], "valid");
+    nl.mark_output(valid);
+    nl
+}
+
+/// An `n`-to-2ⁿ decoder with enable: inputs `s0..s(n-1), en`; outputs
+/// `d0..d(2ⁿ-1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 6`.
+pub fn decoder(library: Arc<Library>, n: usize) -> Netlist {
+    assert!(n > 0 && n <= 6, "decoder select width must be in 1..=6");
+    let lib = library.clone();
+    let mut nl = Netlist::new(format!("dec{n}"), library);
+    let sels: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("s{i}"))).collect();
+    let en = nl.add_input("en");
+    let nsels: Vec<NetId> = sels
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| nl.add_gate(lib.expect("INV"), &[s], format!("ns{i}")))
+        .collect();
+    for code in 0..(1usize << n) {
+        let mut term = en;
+        for (i, (&s, &ns)) in sels.iter().zip(&nsels).enumerate() {
+            let lit = if (code >> i) & 1 == 1 { s } else { ns };
+            term = nl.add_gate(lib.expect("AND2"), &[term, lit], format!("d{code}_l{i}"));
+        }
+        nl.mark_output(term);
+    }
+    nl
+}
+
+/// An `n`-input odd-parity tree: output 1 iff an odd number of inputs
+/// are 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity(library: Arc<Library>, n: usize) -> Netlist {
+    assert!(n > 0, "parity width must be positive");
+    let lib = library.clone();
+    let mut nl = Netlist::new(format!("parity{n}"), library);
+    let mut layer: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let mut counter = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                counter += 1;
+                next.push(nl.add_gate(lib.expect("XOR2"), &[pair[0], pair[1]], format!("p{counter}")));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let out = if nl.inputs().contains(&layer[0]) {
+        nl.add_gate(lib.expect("BUF"), &[layer[0]], "y")
+    } else {
+        layer[0]
+    };
+    nl.mark_output(out);
+    nl
+}
+
+/// A 2ᵏ-to-1 multiplexer tree: inputs `d0..d(2ᵏ-1), s0..s(k-1)`,
+/// one output.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 6`.
+pub fn mux_tree(library: Arc<Library>, k: usize) -> Netlist {
+    assert!(k > 0 && k <= 6, "mux select width must be in 1..=6");
+    let lib = library.clone();
+    let mut nl = Netlist::new(format!("mux{}", 1 << k), library);
+    let mut layer: Vec<NetId> = (0..(1usize << k))
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
+    let sels: Vec<NetId> = (0..k).map(|i| nl.add_input(format!("s{i}"))).collect();
+    for (lvl, &s) in sels.iter().enumerate() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (j, pair) in layer.chunks(2).enumerate() {
+            next.push(nl.add_gate(lib.expect("MUX2"), &[pair[0], pair[1], s], format!("m{lvl}_{j}")));
+        }
+        layer = next;
+    }
+    nl.mark_output(layer[0]);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::lsi10k_like;
+    use crate::types::Delay;
+
+    fn lib() -> Arc<Library> {
+        Arc::new(lsi10k_like())
+    }
+
+    #[test]
+    fn comparator_truth() {
+        let nl = comparator2(lib());
+        for m in 0..16u64 {
+            let a0 = m & 1 != 0;
+            let a1 = m & 2 != 0;
+            let b0 = m & 4 != 0;
+            let b1 = m & 8 != 0;
+            let a = (a1 as u8) * 2 + a0 as u8;
+            let b = (b1 as u8) * 2 + b0 as u8;
+            assert_eq!(nl.eval(&[a0, a1, b0, b1]), vec![a >= b], "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn comparator_critical_path_is_seven() {
+        let nl = comparator2(lib());
+        let arr = nl.structural_arrivals();
+        let y = nl.outputs()[0];
+        assert_eq!(arr[y.index()], Delay::new(7.0));
+    }
+
+    #[test]
+    fn adder_adds() {
+        let nl = ripple_adder(lib(), 3);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for cin in 0..2u64 {
+                    let mut bits = Vec::new();
+                    bits.extend((0..3).map(|i| (a >> i) & 1 == 1));
+                    bits.extend((0..3).map(|i| (b >> i) & 1 == 1));
+                    bits.push(cin == 1);
+                    let out = nl.eval(&bits);
+                    let total = a + b + cin;
+                    for (i, &bit) in out.iter().enumerate() {
+                        assert_eq!(bit, (total >> i) & 1 == 1, "a={a} b={b} cin={cin} bit{i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_ops() {
+        let nl = mini_alu(lib(), 2);
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                for op in 0..4u64 {
+                    let mut bits = Vec::new();
+                    bits.extend((0..2).map(|i| (a >> i) & 1 == 1));
+                    bits.extend((0..2).map(|i| (b >> i) & 1 == 1));
+                    bits.push(op & 1 == 1);
+                    bits.push(op & 2 == 2);
+                    let out = nl.eval(&bits);
+                    let expect = match op {
+                        0 => a & b,
+                        1 => a | b,
+                        2 => a ^ b,
+                        _ => (a + b) & 3,
+                    };
+                    for (i, &bit) in out.iter().enumerate() {
+                        assert_eq!(bit, (expect >> i) & 1 == 1, "a={a} b={b} op={op} bit{i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_grants_highest() {
+        let nl = priority_encoder(lib(), 4);
+        for m in 0..16u64 {
+            let reqs: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let out = nl.eval(&reqs);
+            let first = reqs.iter().position(|&r| r);
+            for (i, &bit) in out.iter().take(4).enumerate() {
+                assert_eq!(bit, first == Some(i), "m={m} grant{i}");
+            }
+            assert_eq!(out[4], first.is_some(), "m={m} valid");
+        }
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let nl = decoder(lib(), 3);
+        for m in 0..16u64 {
+            let mut bits: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let en = m & 8 != 0;
+            bits.push(en);
+            let out = nl.eval(&bits);
+            for (code, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, en && code as u64 == m & 7, "m={m} code={code}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        for n in [1usize, 2, 5, 8] {
+            let nl = parity(lib(), n);
+            for m in 0..(1u64 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                assert_eq!(nl.eval(&bits), vec![m.count_ones() % 2 == 1], "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let nl = mux_tree(lib(), 2);
+        for m in 0..64u64 {
+            let data: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let s0 = m & 16 != 0;
+            let s1 = m & 32 != 0;
+            let mut bits = data.clone();
+            bits.push(s0);
+            bits.push(s1);
+            let idx = (s1 as usize) * 2 + s0 as usize;
+            assert_eq!(nl.eval(&bits), vec![data[idx]], "m={m}");
+        }
+    }
+
+    #[test]
+    fn all_circuits_structurally_sound() {
+        let l = lib();
+        for nl in [
+            comparator2(l.clone()),
+            ripple_adder(l.clone(), 4),
+            mini_alu(l.clone(), 3),
+            priority_encoder(l.clone(), 6),
+            decoder(l.clone(), 4),
+            parity(l.clone(), 9),
+            mux_tree(l.clone(), 3),
+        ] {
+            assert!(nl.check().is_empty(), "{} unsound", nl.name());
+            assert!(nl.depth() > 0);
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Gate-level cleanup optimization: the light post-synthesis passes a
+//! commercial flow would run after assembling a netlist.
+//!
+//! [`cleanup`] iterates four equivalence-preserving rewrites to a fixed
+//! point:
+//!
+//! 1. **Constant propagation** — `TIE0`/`TIE1` values flow through gate
+//!    functions; gates whose outputs become constant turn into tie
+//!    cells, gates reduced to a single live input collapse to wires or
+//!    inverters.
+//! 2. **Identity collapse** — buffers and double inverters forward
+//!    their source net.
+//! 3. **Structural deduplication** — gates with identical cell and
+//!    fanins share one instance.
+//! 4. **Dead-gate sweep** — logic outside every output cone is dropped.
+//!
+//! The primary-input and primary-output interface (names, order,
+//! functions) is preserved exactly; the masking synthesis runs this on
+//! the mapped error-masking circuit before enforcing its slack budget.
+
+use crate::netlist::{Driver, Netlist};
+use crate::types::{CellId, NetId};
+use std::collections::HashMap;
+use tm_logic::TruthTable;
+
+/// What [`cleanup`] accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CleanupStats {
+    /// Gates before cleanup.
+    pub gates_before: usize,
+    /// Gates after cleanup.
+    pub gates_after: usize,
+    /// Fixed-point iterations run.
+    pub iterations: usize,
+}
+
+impl CleanupStats {
+    /// Gates removed.
+    pub fn removed(&self) -> usize {
+        self.gates_before.saturating_sub(self.gates_after)
+    }
+}
+
+/// A net's statically known state during rewriting.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NetState {
+    /// Constant 0 or 1.
+    Constant(bool),
+    /// Identical to another (earlier) net.
+    Alias(NetId),
+    /// An ordinary driven net.
+    Free,
+}
+
+/// Runs cleanup to a fixed point; returns the optimized netlist and
+/// statistics.
+///
+/// The result computes the same primary-output functions over the same
+/// primary inputs (asserted by the caller's tests, guaranteed by
+/// construction: every rewrite is a local equivalence).
+pub fn cleanup(netlist: &Netlist) -> (Netlist, CleanupStats) {
+    let mut stats = CleanupStats {
+        gates_before: netlist.num_gates(),
+        gates_after: netlist.num_gates(),
+        iterations: 0,
+    };
+    let mut current = netlist.clone();
+    loop {
+        stats.iterations += 1;
+        let next = pass(&current);
+        let done = next.num_gates() == current.num_gates();
+        current = next;
+        if done || stats.iterations >= 8 {
+            break;
+        }
+    }
+    stats.gates_after = current.num_gates();
+    (current, stats)
+}
+
+/// One rewrite pass: constant propagation + identity collapse +
+/// structural dedup, then dead sweep via rebuild.
+fn pass(netlist: &Netlist) -> Netlist {
+    let lib = netlist.library().clone();
+    let tie0 = lib.find("TIE0");
+    let tie1 = lib.find("TIE1");
+
+    // Resolve each net to a state in topological order.
+    let mut state: Vec<NetState> = vec![NetState::Free; netlist.num_nets()];
+    let mut strash: HashMap<(CellId, Vec<NetId>), NetId> = HashMap::new();
+    // For inverter-chain collapsing: net → the net it is a negation of.
+    let mut negation_of: Vec<Option<NetId>> = vec![None; netlist.num_nets()];
+
+    // Follow alias chains to a representative.
+    fn resolve(state: &[NetState], mut n: NetId) -> NetId {
+        while let NetState::Alias(m) = state[n.index()] {
+            n = m;
+        }
+        n
+    }
+
+    for (_, g) in netlist.gates() {
+        let out = g.output();
+        let cell = lib.cell(g.cell());
+        let f = cell.function();
+
+        // Resolve fanins through aliases and deduplicate equal nets so
+        // the specialized function sees each distinct signal once.
+        let mut distinct: Vec<NetId> = Vec::with_capacity(g.inputs().len());
+        let mut pin_to_distinct: Vec<usize> = Vec::with_capacity(g.inputs().len());
+        for &i in g.inputs() {
+            let r = resolve(&state, i);
+            match distinct.iter().position(|&d| d == r) {
+                Some(p) => pin_to_distinct.push(p),
+                None => {
+                    distinct.push(r);
+                    pin_to_distinct.push(distinct.len() - 1);
+                }
+            }
+        }
+        let known: Vec<Option<bool>> = distinct
+            .iter()
+            .map(|&d| match state[d.index()] {
+                NetState::Constant(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+
+        // Specialize the function over the distinct unknown inputs.
+        let free: Vec<usize> = (0..distinct.len()).filter(|&p| known[p].is_none()).collect();
+        let spec = TruthTable::from_fn(free.len(), |m| {
+            let mut full = 0u64;
+            for (pin, &dp) in pin_to_distinct.iter().enumerate() {
+                let bit = match known[dp] {
+                    Some(v) => v,
+                    None => {
+                        let pos = free.iter().position(|&fp| fp == dp).expect("free");
+                        (m >> pos) & 1 == 1
+                    }
+                };
+                if bit {
+                    full |= 1 << pin;
+                }
+            }
+            f.eval(full)
+        });
+
+        state[out.index()] = if spec.is_one() {
+            NetState::Constant(true)
+        } else if spec.is_zero() {
+            NetState::Constant(false)
+        } else if free.len() == 1 && spec.eval(1) && !spec.eval(0) {
+            // Identity of its single live input.
+            NetState::Alias(distinct[free[0]])
+        } else if free.len() == 1 && spec.eval(0) && !spec.eval(1) {
+            // Negation of its single live input: collapse inverter
+            // chains (NOT(NOT(x)) = x) and share equivalent negations.
+            let src = distinct[free[0]];
+            if let Some(grand) = negation_of[src.index()] {
+                NetState::Alias(grand)
+            } else if let Some(&prior) =
+                strash.get(&(g.cell(), vec![src]))
+            {
+                NetState::Alias(prior)
+            } else {
+                negation_of[out.index()] = Some(src);
+                strash.insert((g.cell(), vec![src]), out);
+                NetState::Free
+            }
+        } else {
+            // Structural dedup on the resolved (undeduplicated) fanins.
+            let resolved: Vec<NetId> = pin_to_distinct.iter().map(|&p| distinct[p]).collect();
+            let key = (g.cell(), resolved);
+            match strash.get(&key) {
+                Some(&prior) => NetState::Alias(prior),
+                None => {
+                    strash.insert(key, out);
+                    NetState::Free
+                }
+            }
+        };
+    }
+
+    // Rebuild: keep only gates whose output is Free and reachable.
+    let mut out_nl = Netlist::new(netlist.name().to_string(), lib.clone());
+    let mut new_net: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in netlist.inputs() {
+        let n = out_nl.add_input(netlist.net_name(pi).to_string());
+        new_net.insert(pi, n);
+    }
+
+    // Constant sources are materialized on demand (at most one each).
+    let mut const_net: [Option<NetId>; 2] = [None, None];
+    let mut materialize_const = |out_nl: &mut Netlist, v: bool| -> NetId {
+        let slot = v as usize;
+        if let Some(n) = const_net[slot] {
+            return n;
+        }
+        let cell = if v { tie1 } else { tie0 }.expect("library has tie cells");
+        let n = out_nl.add_gate(cell, &[], if v { "const1" } else { "const0" });
+        const_net[slot] = Some(n);
+        n
+    };
+
+    // Reachability from outputs over the rewritten fanin relation.
+    let mut needed = vec![false; netlist.num_nets()];
+    let mut stack: Vec<NetId> = netlist
+        .outputs()
+        .iter()
+        .map(|&o| resolve(&state, o))
+        .collect();
+    while let Some(n) = stack.pop() {
+        if needed[n.index()] {
+            continue;
+        }
+        needed[n.index()] = true;
+        if let Driver::Gate(gid) = netlist.driver(n) {
+            if matches!(state[n.index()], NetState::Free) {
+                for &i in netlist.gate(gid).inputs() {
+                    stack.push(resolve(&state, i));
+                }
+            }
+        }
+    }
+
+    for (_, g) in netlist.gates() {
+        let out = g.output();
+        if !matches!(state[out.index()], NetState::Free) || !needed[out.index()] {
+            continue;
+        }
+        let inputs: Vec<NetId> = g
+            .inputs()
+            .iter()
+            .map(|&i| {
+                let r = resolve(&state, i);
+                match state[r.index()] {
+                    NetState::Constant(v) => materialize_const(&mut out_nl, v),
+                    _ => *new_net.get(&r).expect("topological order"),
+                }
+            })
+            .collect();
+        let n = out_nl.add_gate(g.cell(), &inputs, netlist.net_name(out).to_string());
+        new_net.insert(out, n);
+    }
+
+    // Outputs: resolve through aliases/constants; keep one net per
+    // output role (buffer on collision or PI-alias).
+    for &o in netlist.outputs() {
+        let r = resolve(&state, o);
+        let mut n = match state[r.index()] {
+            NetState::Constant(v) => materialize_const(&mut out_nl, v),
+            _ => *new_net.get(&r).expect("resolved net exists"),
+        };
+        if out_nl.outputs().contains(&n) || netlist.inputs().contains(&r) {
+            let buf = lib.expect("BUF");
+            n = out_nl.add_gate(buf, &[n], format!("{}_out", netlist.net_name(o)));
+        }
+        while out_nl.outputs().contains(&n) {
+            let buf = lib.expect("BUF");
+            n = out_nl.add_gate(buf, &[n], format!("{}_out2", netlist.net_name(o)));
+        }
+        out_nl.mark_output(n);
+    }
+    out_nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{lsi10k_like, Library};
+    use std::sync::Arc;
+
+    fn lib() -> Arc<Library> {
+        Arc::new(lsi10k_like())
+    }
+
+    fn equivalent(a: &Netlist, b: &Netlist) {
+        let n = a.inputs().len();
+        assert!(n <= 12);
+        for m in 0..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(a.eval(&bits), b.eval(&bits), "mismatch at {m:#b}");
+        }
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let lib = lib();
+        let mut nl = Netlist::new("c", lib.clone());
+        let a = nl.add_input("a");
+        let one = nl.add_gate(lib.expect("TIE1"), &[], "one");
+        // AND(a, 1) = a; OR(a, 1) = 1.
+        let x = nl.add_gate(lib.expect("AND2"), &[a, one], "x");
+        let y = nl.add_gate(lib.expect("OR2"), &[x, one], "y");
+        nl.mark_output(y);
+        nl.mark_output(x);
+        let (opt, stats) = cleanup(&nl);
+        equivalent(&nl, &opt);
+        // y is constant 1 (one TIE), x collapses to a buffer of a.
+        assert!(stats.gates_after < stats.gates_before, "{stats:?}");
+    }
+
+    #[test]
+    fn double_inverters_vanish() {
+        let lib = lib();
+        let mut nl = Netlist::new("ii", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let i1 = nl.add_gate(lib.expect("INV"), &[a], "i1");
+        let i2 = nl.add_gate(lib.expect("INV"), &[i1], "i2");
+        let y = nl.add_gate(lib.expect("NAND2"), &[i2, b], "y");
+        nl.mark_output(y);
+        let (opt, stats) = cleanup(&nl);
+        equivalent(&nl, &opt);
+        assert_eq!(stats.gates_after, 1, "{stats:?}"); // just the NAND
+    }
+
+    #[test]
+    fn duplicate_logic_shares() {
+        let lib = lib();
+        let mut nl = Netlist::new("dup", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x1 = nl.add_gate(lib.expect("AND2"), &[a, b], "x1");
+        let x2 = nl.add_gate(lib.expect("AND2"), &[a, b], "x2");
+        let y = nl.add_gate(lib.expect("OR2"), &[x1, x2], "y");
+        nl.mark_output(y);
+        let (opt, stats) = cleanup(&nl);
+        equivalent(&nl, &opt);
+        // OR(x, x) = x too: everything collapses to a single AND.
+        assert_eq!(stats.gates_after, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn dead_logic_swept() {
+        let lib = lib();
+        let mut nl = Netlist::new("dead", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let _unused = nl.add_gate(lib.expect("XOR2"), &[a, b], "unused");
+        let y = nl.add_gate(lib.expect("NOR2"), &[a, b], "y");
+        nl.mark_output(y);
+        let (opt, stats) = cleanup(&nl);
+        equivalent(&nl, &opt);
+        assert_eq!(stats.gates_after, 1);
+        assert_eq!(stats.removed(), 1);
+    }
+
+    #[test]
+    fn interface_is_preserved() {
+        let lib = lib();
+        let nl = crate::circuits::comparator2(lib.clone());
+        let (opt, _) = cleanup(&nl);
+        assert_eq!(opt.inputs().len(), nl.inputs().len());
+        assert_eq!(opt.outputs().len(), nl.outputs().len());
+        for (&a, &b) in nl.inputs().iter().zip(opt.inputs()) {
+            assert_eq!(nl.net_name(a), opt.net_name(b));
+        }
+        equivalent(&nl, &opt);
+        assert!(opt.check().is_empty());
+    }
+
+    #[test]
+    fn generated_circuits_stay_equivalent() {
+        use crate::generate::{generate, GeneratorSpec};
+        for seed in [1u64, 7, 42] {
+            let mut spec = GeneratorSpec::sized(format!("cl{seed}"), 8, 3, 40);
+            spec.seed = seed;
+            let nl = generate(&spec, lib());
+            let (opt, stats) = cleanup(&nl);
+            equivalent(&nl, &opt);
+            assert!(opt.check().is_empty());
+            assert!(stats.gates_after <= stats.gates_before);
+        }
+    }
+
+    #[test]
+    fn pi_output_and_constant_output() {
+        let lib = lib();
+        let mut nl = Netlist::new("po", lib.clone());
+        let a = nl.add_input("a");
+        let buf = nl.add_gate(lib.expect("BUF"), &[a], "abuf");
+        let zero = nl.add_gate(lib.expect("TIE0"), &[], "z");
+        nl.mark_output(buf);
+        nl.mark_output(zero);
+        let (opt, _) = cleanup(&nl);
+        equivalent(&nl, &opt);
+        assert_eq!(opt.outputs().len(), 2);
+    }
+}

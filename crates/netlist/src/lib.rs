@@ -1,0 +1,59 @@
+//! Gate-level netlists, cell libraries, and circuit construction for the
+//! `timemask` workspace.
+//!
+//! This crate is the structural substrate of the reproduction of
+//! Choudhury & Mohanram, *"Masking timing errors on speed-paths in logic
+//! circuits"* (DATE 2009):
+//!
+//! - [`library`]: standard cells with area/delay/power; the bundled
+//!   [`library::lsi10k_like`] library stands in for Synopsys `lsi_10k`.
+//! - [`netlist`]: technology-mapped combinational netlists.
+//! - [`sop_network`]: technology-independent networks of complex SOP
+//!   nodes — the starting representation of the paper's synthesis (§4.1).
+//! - [`extract`] / [`map`]: conversions between the two representations
+//!   (partial collapse, technology mapping).
+//! - [`blif`]: BLIF I/O for SOP networks; [`bench_format`]: ISCAS
+//!   `.bench` I/O for mapped netlists (run the *real* benchmark files
+//!   when you have them); [`verilog`]: structural Verilog export.
+//! - [`circuits`]: exactly-specified reference circuits, including the
+//!   paper's Fig. 2 comparator.
+//! - [`generate`] / [`suites`]: the deterministic synthetic benchmark
+//!   suites standing in for the paper's ISCAS-85/OpenSPARC evaluation
+//!   circuits (see `DESIGN.md` for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tm_netlist::{circuits::comparator2, extract::{extract, ExtractOptions}, library::lsi10k_like};
+//!
+//! let lib = Arc::new(lsi10k_like());
+//! let mapped = comparator2(lib);
+//! assert_eq!(mapped.depth(), 4); // b0 → INV → OR2 → AND2 → OR2 → y
+//!
+//! // Lift back to a technology-independent network.
+//! let net = extract(&mapped, ExtractOptions::default());
+//! assert_eq!(net.eval(&[false, true, true, false]), vec![true]); // 2 >= 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_format;
+pub mod blif;
+pub mod circuits;
+pub mod cleanup;
+pub mod extract;
+pub mod generate;
+pub mod library;
+pub mod map;
+pub mod netlist;
+pub mod sop_network;
+pub mod suites;
+pub mod types;
+pub mod verilog;
+
+pub use library::{Cell, Library};
+pub use netlist::{Driver, Gate, Netlist};
+pub use sop_network::{SigId, SigKind, SopNetwork};
+pub use types::{CellId, Delay, GateId, NetId};

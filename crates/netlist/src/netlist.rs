@@ -1,0 +1,574 @@
+//! Gate-level (technology-mapped) netlists.
+//!
+//! A [`Netlist`] is a DAG of library-cell instances. Nets are the unit of
+//! connectivity: every net has exactly one driver (a primary input or a
+//! gate output) and any number of sinks. Combinational only — the paper's
+//! analysis and synthesis operate between register boundaries.
+
+use crate::library::Library;
+use crate::types::{CellId, Delay, GateId, NetId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// What drives a net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Driver {
+    /// Driven from outside the netlist.
+    PrimaryInput,
+    /// Driven by the output of a gate.
+    Gate(GateId),
+}
+
+#[derive(Clone, Debug)]
+struct Net {
+    name: String,
+    driver: Driver,
+}
+
+/// A cell instance.
+#[derive(Clone, Debug)]
+pub struct Gate {
+    cell: CellId,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// The library cell this gate instantiates.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// Input nets in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// A technology-mapped combinational netlist over a shared [`Library`].
+///
+/// # Examples
+///
+/// ```
+/// use tm_netlist::{library::lsi10k_like, netlist::Netlist};
+/// use std::sync::Arc;
+///
+/// let lib = Arc::new(lsi10k_like());
+/// let mut nl = Netlist::new("demo", lib.clone());
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_gate(lib.expect("NAND2"), &[a, b], "y");
+/// nl.mark_output(y);
+/// assert_eq!(nl.eval(&[true, true]), vec![false]);
+/// ```
+#[derive(Clone)]
+pub struct Netlist {
+    name: String,
+    library: Arc<Library>,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// An empty netlist bound to a library.
+    pub fn new(name: impl Into<String>, library: Arc<Library>) -> Self {
+        Netlist {
+            name: name.into(),
+            library,
+            nets: Vec::new(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the netlist.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The library the netlist's cells come from.
+    pub fn library(&self) -> &Arc<Library> {
+        &self.library
+    }
+
+    /// Adds a primary input net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: name.into(), driver: Driver::PrimaryInput });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate driving a fresh net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the cell arity or an
+    /// input net id is invalid.
+    pub fn add_gate(&mut self, cell: CellId, inputs: &[NetId], out_name: impl Into<String>) -> NetId {
+        let arity = self.library.cell(cell).num_inputs();
+        assert_eq!(inputs.len(), arity, "cell {} expects {arity} inputs", self.library.cell(cell).name());
+        for &i in inputs {
+            assert!((i.0 as usize) < self.nets.len(), "invalid input net {i:?}");
+        }
+        let gate_id = GateId(self.gates.len() as u32);
+        let out = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: out_name.into(), driver: Driver::Gate(gate_id) });
+        self.gates.push(Gate { cell, inputs: inputs.to_vec(), output: out });
+        out
+    }
+
+    /// Marks a net as a primary output (a net may be marked once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is invalid or already an output.
+    pub fn mark_output(&mut self, net: NetId) {
+        assert!((net.0 as usize) < self.nets.len(), "invalid net {net:?}");
+        assert!(!self.outputs.contains(&net), "net {net:?} already an output");
+        self.outputs.push(net);
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The gate with the given id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0 as usize]
+    }
+
+    /// Iterates over `(id, gate)` pairs in insertion order (which is
+    /// topological when built through [`Netlist::add_gate`], since inputs
+    /// must already exist).
+    pub fn gates(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i as u32), g))
+    }
+
+    /// A net's name.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.0 as usize].name
+    }
+
+    /// A net's driver.
+    pub fn driver(&self, net: NetId) -> Driver {
+        self.nets[net.0 as usize].driver
+    }
+
+    /// Position of a net in the primary-input list, if it is one.
+    pub fn input_position(&self, net: NetId) -> Option<usize> {
+        self.inputs.iter().position(|&n| n == net)
+    }
+
+    /// Looks up a net by name (linear scan; intended for tests and I/O).
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Gate ids in topological order (inputs before outputs).
+    ///
+    /// Because gates can only reference existing nets at construction
+    /// time, insertion order is already topological; this returns it
+    /// explicitly for clarity at call sites.
+    pub fn topo_order(&self) -> Vec<GateId> {
+        (0..self.gates.len() as u32).map(GateId).collect()
+    }
+
+    /// Fanout map: for each net, the gates that read it.
+    pub fn fanouts(&self) -> Vec<Vec<GateId>> {
+        let mut out = vec![Vec::new(); self.nets.len()];
+        for (id, g) in self.gates() {
+            for &i in &g.inputs {
+                out[i.0 as usize].push(id);
+            }
+        }
+        out
+    }
+
+    /// Total cell area.
+    pub fn area(&self) -> f64 {
+        self.gates
+            .iter()
+            .map(|g| self.library.cell(g.cell).area())
+            .sum()
+    }
+
+    /// Evaluates the netlist on one input assignment, returning output
+    /// values in output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the input count.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        let values = self.eval_all_nets(assignment);
+        self.outputs.iter().map(|&o| values[o.0 as usize]).collect()
+    }
+
+    /// Evaluates every net; index by `NetId::index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the input count.
+    pub fn eval_all_nets(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.inputs.len(), "assignment arity mismatch");
+        let mut values = vec![false; self.nets.len()];
+        for (pos, &net) in self.inputs.iter().enumerate() {
+            values[net.0 as usize] = assignment[pos];
+        }
+        for g in &self.gates {
+            let mut minterm = 0u64;
+            for (pin, &inp) in g.inputs.iter().enumerate() {
+                if values[inp.0 as usize] {
+                    minterm |= 1 << pin;
+                }
+            }
+            values[g.output.0 as usize] = self.library.cell(g.cell).function().eval(minterm);
+        }
+        values
+    }
+
+    /// Replaces the cell of a gate with another cell of identical
+    /// function and arity (gate sizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new cell's function differs from the old one's.
+    pub fn resize_gate(&mut self, id: GateId, cell: CellId) {
+        let old = self.gates[id.0 as usize].cell;
+        assert_eq!(
+            self.library.cell(old).function(),
+            self.library.cell(cell).function(),
+            "resize must preserve the gate function"
+        );
+        self.gates[id.0 as usize].cell = cell;
+    }
+
+    /// Structural sanity check: every net reachable, single drivers, pin
+    /// arities consistent. Returns a list of violation descriptions
+    /// (empty when healthy).
+    pub fn check(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, net) in self.nets.iter().enumerate() {
+            match net.driver {
+                Driver::PrimaryInput => {
+                    if !self.inputs.contains(&NetId(i as u32)) {
+                        problems.push(format!("net {} marked input-driven but not an input", net.name));
+                    }
+                }
+                Driver::Gate(g) => {
+                    if g.0 as usize >= self.gates.len() {
+                        problems.push(format!("net {} driven by missing gate", net.name));
+                    } else if self.gates[g.0 as usize].output != NetId(i as u32) {
+                        problems.push(format!("net {} driver mismatch", net.name));
+                    }
+                }
+            }
+        }
+        for (gi, g) in self.gates.iter().enumerate() {
+            let arity = self.library.cell(g.cell).num_inputs();
+            if g.inputs.len() != arity {
+                problems.push(format!("gate g{gi} arity mismatch"));
+            }
+            for &inp in &g.inputs {
+                if inp.0 as usize >= self.nets.len() {
+                    problems.push(format!("gate g{gi} reads missing net"));
+                }
+                // Feedback impossible by construction (inputs precede the
+                // gate's own output net), but check defensively.
+                if inp == g.output {
+                    problems.push(format!("gate g{gi} self-loop"));
+                }
+            }
+        }
+        for &o in &self.outputs {
+            if o.0 as usize >= self.nets.len() {
+                problems.push("dangling output".to_string());
+            }
+        }
+        problems
+    }
+
+    /// The structural depth (maximum gate count on any input→output
+    /// path).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.nets.len()];
+        for g in &self.gates {
+            let max_in = g.inputs.iter().map(|&i| level[i.0 as usize]).max().unwrap_or(0);
+            level[g.output.0 as usize] = max_in + 1;
+        }
+        self.outputs.iter().map(|&o| level[o.0 as usize]).max().unwrap_or(0)
+    }
+
+    /// Per-net worst-case structural arrival time assuming inputs arrive
+    /// at time zero (a quick bound; full analysis lives in `tm-sta`).
+    pub fn structural_arrivals(&self) -> Vec<Delay> {
+        let mut arr = vec![Delay::ZERO; self.nets.len()];
+        for g in &self.gates {
+            let cell = self.library.cell(g.cell);
+            let mut worst = Delay::ZERO;
+            for (pin, &inp) in g.inputs.iter().enumerate() {
+                worst = worst.max(arr[inp.0 as usize] + cell.pin_delay(pin));
+            }
+            arr[g.output.0 as usize] = worst;
+        }
+        arr
+    }
+
+    /// The set of gates in the transitive fanin cone of `net` (including
+    /// its driver, excluding primary inputs), plus the cone's primary
+    /// inputs.
+    pub fn fanin_cone(&self, net: NetId) -> (Vec<GateId>, Vec<NetId>) {
+        let mut gate_seen = vec![false; self.gates.len()];
+        let mut pi_seen = vec![false; self.nets.len()];
+        let mut stack = vec![net];
+        while let Some(n) = stack.pop() {
+            match self.driver(n) {
+                Driver::PrimaryInput => pi_seen[n.0 as usize] = true,
+                Driver::Gate(g) => {
+                    if !gate_seen[g.0 as usize] {
+                        gate_seen[g.0 as usize] = true;
+                        stack.extend(self.gates[g.0 as usize].inputs.iter().copied());
+                    }
+                }
+            }
+        }
+        let gates = (0..self.gates.len())
+            .filter(|&i| gate_seen[i])
+            .map(|i| GateId(i as u32))
+            .collect();
+        let pis = self
+            .inputs
+            .iter()
+            .copied()
+            .filter(|n| pi_seen[n.0 as usize])
+            .collect();
+        (gates, pis)
+    }
+
+    /// Merges another netlist into this one, returning the mapping from
+    /// the other netlist's nets to the new ids. The other netlist's
+    /// primary inputs are bound to `input_bindings` (same order) instead
+    /// of creating new inputs; its outputs are *not* marked as outputs
+    /// here.
+    ///
+    /// This is how the error-masking circuit is attached beside the
+    /// original circuit without disturbing it (paper Fig. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the libraries differ or the binding count is wrong.
+    pub fn absorb(&mut self, other: &Netlist, input_bindings: &[NetId]) -> HashMap<NetId, NetId> {
+        assert!(
+            Arc::ptr_eq(&self.library, &other.library) || self.library.name() == other.library.name(),
+            "netlists must share a library"
+        );
+        assert_eq!(input_bindings.len(), other.inputs.len(), "binding arity mismatch");
+        let mut map: HashMap<NetId, NetId> = HashMap::new();
+        for (pos, &inp) in other.inputs.iter().enumerate() {
+            map.insert(inp, input_bindings[pos]);
+        }
+        for (_, g) in other.gates() {
+            let inputs: Vec<NetId> = g.inputs.iter().map(|i| map[i]).collect();
+            let name = format!("{}::{}", other.name, other.net_name(g.output));
+            let new_out = self.add_gate(g.cell, &inputs, name);
+            map.insert(g.output, new_out);
+        }
+        map
+    }
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Netlist({}: {} in, {} out, {} gates)",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.gates.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::lsi10k_like;
+
+    fn lib() -> Arc<Library> {
+        Arc::new(lsi10k_like())
+    }
+
+    /// Builds y = (a & b) | !c.
+    fn sample() -> Netlist {
+        let lib = lib();
+        let mut nl = Netlist::new("sample", lib.clone());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate(lib.expect("AND2"), &[a, b], "ab");
+        let nc = nl.add_gate(lib.expect("INV"), &[c], "nc");
+        let y = nl.add_gate(lib.expect("OR2"), &[ab, nc], "y");
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn eval_matches_expression() {
+        let nl = sample();
+        for m in 0..8u64 {
+            let a = m & 1 != 0;
+            let b = m & 2 != 0;
+            let c = m & 4 != 0;
+            assert_eq!(nl.eval(&[a, b, c]), vec![(a && b) || !c], "m={m}");
+        }
+    }
+
+    #[test]
+    fn structure_queries() {
+        let nl = sample();
+        assert_eq!(nl.num_gates(), 3);
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 1);
+        assert_eq!(nl.depth(), 2);
+        assert!(nl.check().is_empty());
+        assert!(nl.area() > 0.0);
+        let y = nl.outputs()[0];
+        assert_eq!(nl.net_name(y), "y");
+        assert!(matches!(nl.driver(y), Driver::Gate(_)));
+        assert_eq!(nl.find_net("nc"), Some(NetId(4)));
+    }
+
+    #[test]
+    fn structural_arrival_times() {
+        let nl = sample();
+        let arr = nl.structural_arrivals();
+        let y = nl.outputs()[0];
+        // a/b -> AND2 (2.0) -> OR2 (2.0) = 4.0; c -> INV (1.0) -> OR2 = 3.0
+        assert_eq!(arr[y.index()], Delay::new(4.0));
+    }
+
+    #[test]
+    fn fanin_cone_collects_cone() {
+        let nl = sample();
+        let y = nl.outputs()[0];
+        let (gates, pis) = nl.fanin_cone(y);
+        assert_eq!(gates.len(), 3);
+        assert_eq!(pis.len(), 3);
+        // Cone of the inverter output: just the inverter and input c.
+        let nc = nl.find_net("nc").unwrap();
+        let (g2, p2) = nl.fanin_cone(nc);
+        assert_eq!(g2.len(), 1);
+        assert_eq!(p2.len(), 1);
+    }
+
+    #[test]
+    fn fanouts_reflect_reads() {
+        let nl = sample();
+        let fans = nl.fanouts();
+        let a = nl.inputs()[0];
+        assert_eq!(fans[a.index()].len(), 1);
+        let ab = nl.find_net("ab").unwrap();
+        assert_eq!(fans[ab.index()].len(), 1);
+        let y = nl.outputs()[0];
+        assert!(fans[y.index()].is_empty());
+    }
+
+    #[test]
+    fn resize_preserves_function() {
+        let mut nl = sample();
+        let lib = nl.library().clone();
+        let and2f = lib.expect("AND2_F");
+        nl.resize_gate(GateId(0), and2f);
+        assert_eq!(nl.eval(&[true, true, true]), vec![true]);
+        let arr = nl.structural_arrivals();
+        let y = nl.outputs()[0];
+        assert!(arr[y.index()] < Delay::new(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "resize must preserve")]
+    fn resize_rejects_function_change() {
+        let mut nl = sample();
+        let lib = nl.library().clone();
+        nl.resize_gate(GateId(0), lib.expect("OR2"));
+    }
+
+    #[test]
+    fn absorb_binds_inputs() {
+        let lib = lib();
+        let mut host = sample();
+        // Small companion circuit: z = !(p & q)
+        let mut side = Netlist::new("side", lib.clone());
+        let p = side.add_input("p");
+        let q = side.add_input("q");
+        let z = side.add_gate(lib.expect("NAND2"), &[p, q], "z");
+        side.mark_output(z);
+
+        let a = host.inputs()[0];
+        let b = host.inputs()[1];
+        let map = host.absorb(&side, &[a, b]);
+        let z_new = map[&z];
+        let vals = host.eval_all_nets(&[true, true, false]);
+        assert!(!vals[z_new.index()]); // !(1&1) = 0
+        assert_eq!(host.num_gates(), 4);
+        assert!(host.check().is_empty());
+    }
+
+    #[test]
+    fn tie_cells_evaluate() {
+        let lib = lib();
+        let mut nl = Netlist::new("ties", lib.clone());
+        let _a = nl.add_input("a");
+        let one = nl.add_gate(lib.expect("TIE1"), &[], "one");
+        let zero = nl.add_gate(lib.expect("TIE0"), &[], "zero");
+        nl.mark_output(one);
+        nl.mark_output(zero);
+        assert_eq!(nl.eval(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn arity_mismatch_panics() {
+        let lib = lib();
+        let mut nl = Netlist::new("bad", lib.clone());
+        let a = nl.add_input("a");
+        nl.add_gate(lib.expect("NAND2"), &[a], "y");
+    }
+}

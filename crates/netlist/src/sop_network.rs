@@ -1,0 +1,482 @@
+//! Technology-independent networks: DAGs of complex SOP nodes.
+//!
+//! The paper's synthesis (§4.1) starts from "the technology-independent
+//! representation of the original circuit … in which the internal nodes
+//! can have complex Boolean functions (with 10–15 inputs)". A
+//! [`SopNetwork`] is exactly that: each node holds a sum-of-products
+//! cover over its local fanins. Extraction from a mapped netlist lives in
+//! [`crate::extract`], mapping back to gates in [`crate::map`].
+
+use std::collections::HashMap;
+use std::fmt;
+use tm_logic::bdd::{Bdd, BddRef};
+use tm_logic::{Sop, TruthTable};
+
+/// Identifier of a signal (input or node output) in a [`SopNetwork`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SigId(pub(crate) u32);
+
+impl SigId {
+    /// Raw index into the network's signal arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// What a signal is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SigKind {
+    /// A primary input.
+    Input,
+    /// The output of the internal node with this index.
+    Node(usize),
+}
+
+#[derive(Clone, Debug)]
+struct Sig {
+    name: String,
+    kind: SigKind,
+}
+
+/// An internal node: an SOP cover over ordered local fanins.
+#[derive(Clone, Debug)]
+pub struct SopNode {
+    inputs: Vec<SigId>,
+    cover: Sop,
+}
+
+impl SopNode {
+    /// Local fanin signals; cube variable `i` refers to `inputs[i]`.
+    pub fn inputs(&self) -> &[SigId] {
+        &self.inputs
+    }
+
+    /// The node's SOP cover over local input positions.
+    pub fn cover(&self) -> &Sop {
+        &self.cover
+    }
+
+    /// The node's function as a truth table over local inputs.
+    pub fn truth_table(&self) -> TruthTable {
+        TruthTable::from_sop(self.inputs.len(), &self.cover)
+    }
+}
+
+/// A technology-independent logic network.
+///
+/// # Examples
+///
+/// ```
+/// use tm_logic::{cube::Cube, sop::Sop};
+/// use tm_netlist::sop_network::SopNetwork;
+///
+/// let mut net = SopNetwork::new("demo");
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// // y = a & !b
+/// let y = net.add_node(
+///     "y",
+///     vec![a, b],
+///     Sop::from_cubes(2, vec![Cube::from_literals(2, &[(0, true), (1, false)])]),
+/// );
+/// net.mark_output(y);
+/// assert_eq!(net.eval(&[true, false]), vec![true]);
+/// ```
+#[derive(Clone)]
+pub struct SopNetwork {
+    name: String,
+    sigs: Vec<Sig>,
+    nodes: Vec<SopNode>,
+    inputs: Vec<SigId>,
+    outputs: Vec<SigId>,
+}
+
+impl SopNetwork {
+    /// An empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        SopNetwork {
+            name: name.into(),
+            sigs: Vec::new(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> SigId {
+        let id = SigId(self.sigs.len() as u32);
+        self.sigs.push(Sig { name: name.into(), kind: SigKind::Input });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds an internal node computing `cover` over `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover's arity differs from the input count or an
+    /// input id is invalid (forward references are impossible, keeping
+    /// the network acyclic by construction).
+    pub fn add_node(&mut self, name: impl Into<String>, inputs: Vec<SigId>, cover: Sop) -> SigId {
+        assert_eq!(cover.num_vars(), inputs.len(), "cover arity mismatch");
+        for &i in &inputs {
+            assert!((i.0 as usize) < self.sigs.len(), "invalid node input {i:?}");
+        }
+        let node_idx = self.nodes.len();
+        let id = SigId(self.sigs.len() as u32);
+        self.sigs.push(Sig { name: name.into(), kind: SigKind::Node(node_idx) });
+        self.nodes.push(SopNode { inputs, cover });
+        id
+    }
+
+    /// Marks a signal as a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is invalid or already marked.
+    pub fn mark_output(&mut self, sig: SigId) {
+        assert!((sig.0 as usize) < self.sigs.len(), "invalid signal {sig:?}");
+        assert!(!self.outputs.contains(&sig), "signal {sig:?} already an output");
+        self.outputs.push(sig);
+    }
+
+    /// Primary inputs in order.
+    pub fn inputs(&self) -> &[SigId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in order.
+    pub fn outputs(&self) -> &[SigId] {
+        &self.outputs
+    }
+
+    /// Number of internal nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The kind of a signal.
+    pub fn kind(&self, sig: SigId) -> SigKind {
+        self.sigs[sig.0 as usize].kind
+    }
+
+    /// A signal's name.
+    pub fn sig_name(&self, sig: SigId) -> &str {
+        &self.sigs[sig.0 as usize].name
+    }
+
+    /// Looks up a signal by name.
+    pub fn find_sig(&self, name: &str) -> Option<SigId> {
+        self.sigs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SigId(i as u32))
+    }
+
+    /// The node driving a signal, if it is a node output.
+    pub fn node_of(&self, sig: SigId) -> Option<&SopNode> {
+        match self.kind(sig) {
+            SigKind::Input => None,
+            SigKind::Node(i) => Some(&self.nodes[i]),
+        }
+    }
+
+    /// Replaces the cover of the node driving `sig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is a primary input or the new cover's arity
+    /// differs from the node's fanin count.
+    pub fn replace_cover(&mut self, sig: SigId, cover: Sop) {
+        match self.kind(sig) {
+            SigKind::Input => panic!("cannot replace cover of a primary input"),
+            SigKind::Node(i) => {
+                assert_eq!(cover.num_vars(), self.nodes[i].inputs.len(), "cover arity mismatch");
+                self.nodes[i].cover = cover;
+            }
+        }
+    }
+
+    /// All node-output signals in topological (insertion) order.
+    pub fn node_sigs(&self) -> Vec<SigId> {
+        self.sigs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, SigKind::Node(_)))
+            .map(|(i, _)| SigId(i as u32))
+            .collect()
+    }
+
+    /// Evaluates the network on an input assignment (in input order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from the input count.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        let values = self.eval_all(assignment);
+        self.outputs.iter().map(|&o| values[o.0 as usize]).collect()
+    }
+
+    /// Evaluates every signal; index by `SigId::index`.
+    pub fn eval_all(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.inputs.len(), "assignment arity mismatch");
+        let mut values = vec![false; self.sigs.len()];
+        for (pos, &sig) in self.inputs.iter().enumerate() {
+            values[sig.0 as usize] = assignment[pos];
+        }
+        for (i, sig) in self.sigs.iter().enumerate() {
+            if let SigKind::Node(n) = sig.kind {
+                let node = &self.nodes[n];
+                let mut minterm = 0u64;
+                for (pos, &inp) in node.inputs.iter().enumerate() {
+                    if values[inp.0 as usize] {
+                        minterm |= 1 << pos;
+                    }
+                }
+                values[i] = node.cover.eval(minterm);
+            }
+        }
+        values
+    }
+
+    /// Signals in the transitive fanin cone of `sig` (inclusive),
+    /// topologically ordered.
+    pub fn fanin_cone(&self, sig: SigId) -> Vec<SigId> {
+        let mut in_cone = vec![false; self.sigs.len()];
+        let mut stack = vec![sig];
+        while let Some(s) = stack.pop() {
+            if in_cone[s.0 as usize] {
+                continue;
+            }
+            in_cone[s.0 as usize] = true;
+            if let SigKind::Node(n) = self.kind(s) {
+                stack.extend(self.nodes[n].inputs.iter().copied());
+            }
+        }
+        (0..self.sigs.len())
+            .filter(|&i| in_cone[i])
+            .map(|i| SigId(i as u32))
+            .collect()
+    }
+
+    /// Builds the global BDD of every signal over the primary-input space
+    /// (BDD variable `i` = input position `i`). Returns one ref per
+    /// signal, indexed by `SigId::index`.
+    pub fn global_bdds(&self, bdd: &mut Bdd) -> Vec<BddRef> {
+        assert!(bdd.num_vars() >= self.inputs.len(), "BDD manager too narrow");
+        let mut refs = vec![bdd.zero(); self.sigs.len()];
+        for (pos, &sig) in self.inputs.iter().enumerate() {
+            refs[sig.0 as usize] = bdd.var(pos);
+        }
+        for (i, sig) in self.sigs.iter().enumerate() {
+            if let SigKind::Node(n) = sig.kind {
+                let node = &self.nodes[n];
+                let fanin_refs: Vec<BddRef> =
+                    node.inputs.iter().map(|&f| refs[f.0 as usize]).collect();
+                let mut cube_fns = Vec::with_capacity(node.cover.len());
+                for cube in node.cover.cubes() {
+                    let lits: Vec<BddRef> = cube
+                        .literals()
+                        .map(|(pos, pol)| {
+                            if pol {
+                                fanin_refs[pos]
+                            } else {
+                                bdd.not(fanin_refs[pos])
+                            }
+                        })
+                        .collect();
+                    cube_fns.push(bdd.and_all(lits));
+                }
+                refs[i] = bdd.or_all(cube_fns);
+            }
+        }
+        refs
+    }
+
+    /// Removes nodes not in the fanin cone of any output (dead logic),
+    /// renumbering signals. Returns the old→new signal map.
+    pub fn sweep(&self) -> (SopNetwork, HashMap<SigId, SigId>) {
+        let mut live = vec![false; self.sigs.len()];
+        for &o in &self.outputs {
+            for s in self.fanin_cone(o) {
+                live[s.0 as usize] = true;
+            }
+        }
+        // Inputs always survive (interface stability).
+        for &i in &self.inputs {
+            live[i.0 as usize] = true;
+        }
+        let mut out = SopNetwork::new(self.name.clone());
+        let mut map: HashMap<SigId, SigId> = HashMap::new();
+        for (i, sig) in self.sigs.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let old = SigId(i as u32);
+            let new = match sig.kind {
+                SigKind::Input => out.add_input(sig.name.clone()),
+                SigKind::Node(n) => {
+                    let node = &self.nodes[n];
+                    let inputs: Vec<SigId> = node.inputs.iter().map(|x| map[x]).collect();
+                    out.add_node(sig.name.clone(), inputs, node.cover.clone())
+                }
+            };
+            map.insert(old, new);
+        }
+        for &o in &self.outputs {
+            out.mark_output(map[&o]);
+        }
+        (out, map)
+    }
+
+    /// Total SOP literal count over all nodes (a technology-independent
+    /// size metric).
+    pub fn literal_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.cover.literal_count()).sum()
+    }
+}
+
+impl fmt::Debug for SopNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SopNetwork({}: {} in, {} out, {} nodes, {} literals)",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.nodes.len(),
+            self.literal_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_logic::cube::Cube;
+
+    /// y = (a & b) | c, z = !c & a
+    fn sample() -> SopNetwork {
+        let mut net = SopNetwork::new("s");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let y = net.add_node(
+            "y",
+            vec![a, b, c],
+            Sop::from_cubes(3, vec![
+                Cube::from_literals(3, &[(0, true), (1, true)]),
+                Cube::from_literals(3, &[(2, true)]),
+            ]),
+        );
+        let z = net.add_node(
+            "z",
+            vec![c, a],
+            Sop::from_cubes(2, vec![Cube::from_literals(2, &[(0, false), (1, true)])]),
+        );
+        net.mark_output(y);
+        net.mark_output(z);
+        net
+    }
+
+    #[test]
+    fn eval_matches_expressions() {
+        let net = sample();
+        for m in 0..8u64 {
+            let a = m & 1 != 0;
+            let b = m & 2 != 0;
+            let c = m & 4 != 0;
+            let out = net.eval(&[a, b, c]);
+            assert_eq!(out[0], (a && b) || c);
+            assert_eq!(out[1], !c && a);
+        }
+    }
+
+    #[test]
+    fn node_accessors() {
+        let net = sample();
+        let y = net.find_sig("y").expect("y exists");
+        let node = net.node_of(y).expect("y is a node");
+        assert_eq!(node.inputs().len(), 3);
+        assert_eq!(node.cover().len(), 2);
+        let tt = node.truth_table();
+        assert!(tt.eval(0b011) && tt.eval(0b100) && !tt.eval(0b001));
+        assert!(net.node_of(net.inputs()[0]).is_none());
+        assert_eq!(net.node_sigs().len(), 2);
+    }
+
+    #[test]
+    fn global_bdds_match_eval() {
+        let net = sample();
+        let mut bdd = Bdd::new(3);
+        let refs = net.global_bdds(&mut bdd);
+        for m in 0..8u64 {
+            let assignment: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let values = net.eval_all(&assignment);
+            for sig in 0..net.sigs.len() {
+                assert_eq!(
+                    bdd.eval(refs[sig], &assignment),
+                    values[sig],
+                    "sig {sig} at m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cone_and_sweep() {
+        let mut net = sample();
+        // Add a dead node.
+        let a = net.inputs()[0];
+        let _dead = net.add_node(
+            "dead",
+            vec![a],
+            Sop::from_cubes(1, vec![Cube::from_literals(1, &[(0, false)])]),
+        );
+        assert_eq!(net.num_nodes(), 3);
+        let (swept, map) = net.sweep();
+        assert_eq!(swept.num_nodes(), 2);
+        assert_eq!(swept.inputs().len(), 3);
+        let y_old = net.find_sig("y").unwrap();
+        assert!(map.contains_key(&y_old));
+        // Behaviour preserved.
+        for m in 0..8u64 {
+            let assignment: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(net.eval(&assignment), swept.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn replace_cover_changes_function() {
+        let mut net = sample();
+        let y = net.find_sig("y").unwrap();
+        net.replace_cover(y, Sop::one(3));
+        assert!(net.eval(&[false, false, false])[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover arity mismatch")]
+    fn replace_cover_checks_arity() {
+        let mut net = sample();
+        let y = net.find_sig("y").unwrap();
+        net.replace_cover(y, Sop::one(2));
+    }
+
+    #[test]
+    fn literal_count_sums_nodes() {
+        let net = sample();
+        assert_eq!(net.literal_count(), 3 + 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Domain newtypes shared across the workspace: delays, identifiers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A circuit delay in abstract library time units.
+///
+/// The bundled `lsi10k`-like library uses the unit scale of the paper's
+/// worked example (inverter = 1.0, two-input gate = 2.0). Delays are
+/// ordinary floating-point quantities with arithmetic; [`Delay::quantize`]
+/// produces an integer key in femto-units for use in memo tables.
+///
+/// # Examples
+///
+/// ```
+/// use tm_netlist::Delay;
+///
+/// let d = Delay::new(2.0) + Delay::new(1.0);
+/// assert_eq!(d, Delay::new(3.0));
+/// assert!(d * 0.9 < d);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Delay(f64);
+
+impl Delay {
+    /// Zero delay.
+    pub const ZERO: Delay = Delay(0.0);
+
+    /// A delay no real path can exceed; used as an "unreached" sentinel.
+    pub const NEG_INFINITY: Delay = Delay(f64::NEG_INFINITY);
+
+    /// Wraps a raw value in library time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is NaN.
+    pub fn new(units: f64) -> Self {
+        assert!(!units.is_nan(), "delay cannot be NaN");
+        Delay(units)
+    }
+
+    /// Const constructor for compile-time delay constants (no NaN
+    /// check; use [`Delay::new`] for runtime values).
+    pub const fn from_units_const(units: f64) -> Self {
+        Delay(units)
+    }
+
+    /// The raw value in library time units.
+    pub fn units(self) -> f64 {
+        self.0
+    }
+
+    /// Integer femto-unit key (value × 10⁶, rounded); used for exact
+    /// memoization of timed recursions.
+    pub fn quantize(self) -> i64 {
+        (self.0 * 1e6).round() as i64
+    }
+
+    /// Reconstructs a delay from a [`Delay::quantize`] key.
+    pub fn from_quantized(key: i64) -> Self {
+        Delay(key as f64 / 1e6)
+    }
+
+    /// Element-wise maximum.
+    pub fn max(self, other: Delay) -> Delay {
+        Delay(self.0.max(other.0))
+    }
+
+    /// Element-wise minimum.
+    pub fn min(self, other: Delay) -> Delay {
+        Delay(self.0.min(other.0))
+    }
+
+    /// Whether the delay is a finite number.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for Delay {
+    type Output = Delay;
+    fn add(self, rhs: Delay) -> Delay {
+        Delay(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Delay {
+    fn add_assign(&mut self, rhs: Delay) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Delay {
+    type Output = Delay;
+    fn sub(self, rhs: Delay) -> Delay {
+        Delay(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Delay {
+    type Output = Delay;
+    fn mul(self, rhs: f64) -> Delay {
+        Delay(self.0 * rhs)
+    }
+}
+
+impl Div<Delay> for Delay {
+    type Output = f64;
+    fn div(self, rhs: Delay) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for Delay {
+    type Output = Delay;
+    fn neg(self) -> Delay {
+        Delay(-self.0)
+    }
+}
+
+impl Sum for Delay {
+    fn sum<I: Iterator<Item = Delay>>(iter: I) -> Delay {
+        Delay(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}u", self.0)
+    }
+}
+
+impl fmt::Display for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+/// Identifier of a net (signal) within a [`crate::netlist::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index into the netlist's net arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a raw index (for deserialization and tests;
+    /// validity is checked by the netlist on use).
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Debug for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a gate instance within a [`crate::netlist::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Raw index into the netlist's gate arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `GateId` from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+}
+
+impl fmt::Debug for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of a cell in a [`crate::library::Library`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// Raw index into the library's cell list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_arithmetic() {
+        let a = Delay::new(1.5);
+        let b = Delay::new(2.5);
+        assert_eq!(a + b, Delay::new(4.0));
+        assert_eq!(b - a, Delay::new(1.0));
+        assert_eq!(a * 2.0, Delay::new(3.0));
+        assert!((b / a - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(-a, Delay::new(-1.5));
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn delay_quantization_roundtrip() {
+        for v in [0.0, 1.0, 6.3, 0.9 * 7.0, 123.456789] {
+            let d = Delay::new(v);
+            let q = d.quantize();
+            assert!((Delay::from_quantized(q) - d).units().abs() < 1e-6);
+        }
+        // Quantization is injective on distinct realistic delays.
+        assert_ne!(Delay::new(6.3).quantize(), Delay::new(6.300001).quantize());
+    }
+
+    #[test]
+    fn delay_sum() {
+        let total: Delay = [1.0, 2.0, 3.0].into_iter().map(Delay::new).sum();
+        assert_eq!(total, Delay::new(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Delay::new(f64::NAN);
+    }
+
+    #[test]
+    fn id_debug_formats() {
+        assert_eq!(format!("{:?}", NetId(3)), "n3");
+        assert_eq!(format!("{:?}", GateId(7)), "g7");
+        assert_eq!(format!("{:?}", CellId(1)), "c1");
+    }
+}

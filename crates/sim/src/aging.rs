@@ -1,0 +1,125 @@
+//! Aging / wearout delay-degradation models.
+//!
+//! The paper's wearout application (§2.1) watches speed-paths slow down
+//! over the device lifetime. [`AgingModel`] turns a scalar *stress*
+//! level (0 = fresh silicon, 1 = end of modelled life) into per-gate
+//! delay scale factors consumable by `tm_sta::Sta::with_scale` and
+//! `tm_sim::timing::TimingSim::with_scale`: all gates degrade a little,
+//! gates on speed-paths degrade more (they switch most and see the
+//! worst NBTI/HCI stress), and optional per-gate jitter models process
+//! variation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tm_netlist::Netlist;
+
+/// A delay-degradation model.
+#[derive(Clone, Copy, Debug)]
+pub struct AgingModel {
+    /// Fractional slowdown of every gate at full stress (e.g. 0.05 =
+    /// 5 %).
+    pub base_degradation: f64,
+    /// Additional fractional slowdown of stressed (speed-path) gates at
+    /// full stress.
+    pub speedpath_degradation: f64,
+    /// Half-width of uniform per-gate jitter applied at full stress.
+    pub jitter: f64,
+    /// Seed for the jitter.
+    pub seed: u64,
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        AgingModel {
+            base_degradation: 0.03,
+            speedpath_degradation: 0.12,
+            jitter: 0.01,
+            seed: 0xA61A,
+        }
+    }
+}
+
+impl AgingModel {
+    /// Computes per-gate delay scale factors at the given stress level.
+    ///
+    /// `stressed[g]` marks gates that carry speed-paths (e.g. from
+    /// `tm_sta::Sta::critical_gates`). Factors are always ≥ 1 − jitter
+    /// and grow monotonically with stress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stressed.len()` differs from the gate count or
+    /// `stress` is outside `[0, 2]` (beyond-end-of-life extrapolation is
+    /// allowed up to 2×).
+    pub fn scale_factors(&self, netlist: &Netlist, stressed: &[bool], stress: f64) -> Vec<f64> {
+        assert_eq!(stressed.len(), netlist.num_gates(), "one stress flag per gate");
+        assert!((0.0..=2.0).contains(&stress), "stress must be in [0, 2]");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..netlist.num_gates())
+            .map(|g| {
+                let jitter = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..=self.jitter)
+                } else {
+                    0.0
+                };
+                let extra = if stressed[g] { self.speedpath_degradation } else { 0.0 };
+                (1.0 + stress * (self.base_degradation + extra + jitter)).max(0.5)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+
+    fn setup() -> (Netlist, Vec<bool>) {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        // Mark the two inverters as stressed.
+        let mut stressed = vec![false; nl.num_gates()];
+        stressed[0] = true;
+        stressed[1] = true;
+        (nl, stressed)
+    }
+
+    #[test]
+    fn fresh_silicon_is_nominal_modulo_jitter() {
+        let (nl, stressed) = setup();
+        let model = AgingModel { jitter: 0.0, ..AgingModel::default() };
+        let s = model.scale_factors(&nl, &stressed, 0.0);
+        assert!(s.iter().all(|&f| (f - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn stressed_gates_degrade_more() {
+        let (nl, stressed) = setup();
+        let model = AgingModel { jitter: 0.0, ..AgingModel::default() };
+        let s = model.scale_factors(&nl, &stressed, 1.0);
+        assert!((s[0] - 1.15).abs() < 1e-12); // base 3% + speedpath 12%
+        assert!((s[2] - 1.03).abs() < 1e-12); // base only
+    }
+
+    #[test]
+    fn monotone_in_stress() {
+        let (nl, stressed) = setup();
+        let model = AgingModel::default();
+        let lo = model.scale_factors(&nl, &stressed, 0.2);
+        let hi = model.scale_factors(&nl, &stressed, 0.8);
+        for (a, b) in lo.iter().zip(&hi) {
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic() {
+        let (nl, stressed) = setup();
+        let model = AgingModel::default();
+        assert_eq!(
+            model.scale_factors(&nl, &stressed, 0.5),
+            model.scale_factors(&nl, &stressed, 0.5)
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Bit-parallel (64-way) functional simulation.
+//!
+//! Each `u64` word carries 64 independent input patterns; one pass over
+//! the netlist evaluates all of them. Used for switching-activity power
+//! estimation, masking-coverage spot checks, and workload replay in the
+//! monitor experiments.
+
+use tm_netlist::{Netlist, SopNetwork};
+
+/// A block of up to 64 patterns for a circuit with `num_inputs` inputs.
+///
+/// Bit `k` of `input_words[i]` is the value of input `i` in pattern `k`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatternBlock {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl PatternBlock {
+    /// Builds a block from explicit patterns (each a `Vec<bool>` of
+    /// input values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are supplied, the block is empty,
+    /// or pattern arities disagree.
+    pub fn from_patterns(patterns: &[Vec<bool>]) -> Self {
+        assert!(!patterns.is_empty(), "empty pattern block");
+        assert!(patterns.len() <= 64, "a block holds at most 64 patterns");
+        let arity = patterns[0].len();
+        let mut words = vec![0u64; arity];
+        for (k, p) in patterns.iter().enumerate() {
+            assert_eq!(p.len(), arity, "pattern arity mismatch");
+            for (i, &bit) in p.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << k;
+                }
+            }
+        }
+        PatternBlock { words, count: patterns.len() }
+    }
+
+    /// Builds a block directly from per-input words.
+    pub fn from_words(words: Vec<u64>, count: usize) -> Self {
+        assert!((1..=64).contains(&count), "count must be 1..=64");
+        PatternBlock { words, count }
+    }
+
+    /// Per-input pattern words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of patterns in the block (≤ 64).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the block holds no patterns (never true for constructed
+    /// blocks).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Extracts pattern `k` as a `Vec<bool>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn pattern(&self, k: usize) -> Vec<bool> {
+        assert!(k < self.count, "pattern index out of range");
+        self.words.iter().map(|w| (w >> k) & 1 == 1).collect()
+    }
+}
+
+/// Simulates a netlist on a block of patterns; returns one word per net
+/// (index by `NetId::index`).
+///
+/// # Panics
+///
+/// Panics if the block's arity differs from the input count.
+pub fn simulate_block(netlist: &Netlist, block: &PatternBlock) -> Vec<u64> {
+    assert_eq!(block.words().len(), netlist.inputs().len(), "block arity mismatch");
+    let lib = netlist.library();
+    let mut values = vec![0u64; netlist.num_nets()];
+    for (pos, &net) in netlist.inputs().iter().enumerate() {
+        values[net.index()] = block.words()[pos];
+    }
+    for (_, g) in netlist.gates() {
+        let f = lib.cell(g.cell()).function();
+        let ins: Vec<u64> = g.inputs().iter().map(|i| values[i.index()]).collect();
+        let mut out = 0u64;
+        // Evaluate the cell truth table bit-parallel: for each minterm of
+        // the cell in the on-set, AND the matching literal words.
+        for m in 0..(1u64 << ins.len()) {
+            if !f.eval(m) {
+                continue;
+            }
+            let mut term = u64::MAX;
+            for (pin, &w) in ins.iter().enumerate() {
+                term &= if (m >> pin) & 1 == 1 { w } else { !w };
+            }
+            out |= term;
+        }
+        values[g.output().index()] = out;
+    }
+    values
+}
+
+/// Simulates a netlist on a block and returns the primary-output words
+/// in output order.
+pub fn simulate_outputs(netlist: &Netlist, block: &PatternBlock) -> Vec<u64> {
+    let values = simulate_block(netlist, block);
+    netlist.outputs().iter().map(|&o| values[o.index()]).collect()
+}
+
+/// Simulates a technology-independent network on a block; returns one
+/// word per signal (index by `SigId::index`).
+///
+/// # Panics
+///
+/// Panics if the block's arity differs from the input count.
+pub fn simulate_sop_block(net: &SopNetwork, block: &PatternBlock) -> Vec<u64> {
+    assert_eq!(block.words().len(), net.inputs().len(), "block arity mismatch");
+    let mut values = vec![0u64; net.inputs().len() + net.num_nodes() + 64];
+    // Signal ids are dense; size the array by probing the max id.
+    let max_sig = net
+        .node_sigs()
+        .last()
+        .map(|s| s.index())
+        .unwrap_or(0)
+        .max(net.inputs().iter().map(|s| s.index()).max().unwrap_or(0));
+    values.resize(max_sig + 1, 0);
+    for (pos, &sig) in net.inputs().iter().enumerate() {
+        values[sig.index()] = block.words()[pos];
+    }
+    for sig in net.node_sigs() {
+        let node = net.node_of(sig).expect("node");
+        let ins: Vec<u64> = node.inputs().iter().map(|i| values[i.index()]).collect();
+        let mut out = 0u64;
+        for cube in node.cover().cubes() {
+            let mut term = u64::MAX;
+            for (pos, pol) in cube.literals() {
+                term &= if pol { ins[pos] } else { !ins[pos] };
+            }
+            out |= term;
+        }
+        values[sig.index()] = out;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_netlist::circuits::{comparator2, parity};
+    use tm_netlist::extract::{extract, ExtractOptions};
+    use tm_netlist::library::lsi10k_like;
+
+    #[test]
+    fn block_roundtrip() {
+        let pats = vec![
+            vec![true, false, true],
+            vec![false, false, false],
+            vec![true, true, true],
+        ];
+        let block = PatternBlock::from_patterns(&pats);
+        assert_eq!(block.len(), 3);
+        for (k, p) in pats.iter().enumerate() {
+            assert_eq!(&block.pattern(k), p);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_scalar() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let pats: Vec<Vec<bool>> =
+            (0..16u64).map(|m| (0..4).map(|i| (m >> i) & 1 == 1).collect()).collect();
+        let block = PatternBlock::from_patterns(&pats);
+        let outs = simulate_outputs(&nl, &block);
+        for k in 0..16 {
+            let scalar = nl.eval(&block.pattern(k));
+            assert_eq!((outs[0] >> k) & 1 == 1, scalar[0], "pattern {k}");
+        }
+    }
+
+    #[test]
+    fn xor_tree_parallel() {
+        let nl = parity(Arc::new(lsi10k_like()), 7);
+        let pats: Vec<Vec<bool>> =
+            (0..64u64).map(|m| (0..7).map(|i| (m >> i) & 1 == 1).collect()).collect();
+        let block = PatternBlock::from_patterns(&pats);
+        let outs = simulate_outputs(&nl, &block);
+        for k in 0..64u64 {
+            assert_eq!((outs[0] >> k) & 1 == 1, k.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn sop_network_simulation_matches_netlist() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let net = extract(&nl, ExtractOptions::default());
+        let pats: Vec<Vec<bool>> =
+            (0..16u64).map(|m| (0..4).map(|i| (m >> i) & 1 == 1).collect()).collect();
+        let block = PatternBlock::from_patterns(&pats);
+        let sig_values = simulate_sop_block(&net, &block);
+        for k in 0..16 {
+            let expect = nl.eval(&block.pattern(k));
+            let y = net.outputs()[0];
+            assert_eq!((sig_values[y.index()] >> k) & 1 == 1, expect[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn oversized_block_rejected() {
+        let pats: Vec<Vec<bool>> = (0..65).map(|_| vec![false]).collect();
+        let _ = PatternBlock::from_patterns(&pats);
+    }
+}

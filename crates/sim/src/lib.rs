@@ -1,0 +1,42 @@
+//! Simulation substrate for the `timemask` workspace: the "silicon" the
+//! reproduction observes.
+//!
+//! - [`func`]: 64-way bit-parallel functional simulation of mapped
+//!   netlists and SOP networks.
+//! - [`timing`]: event-driven gate-level timing simulation with clocked
+//!   output sampling — late transitions sampled at the clock edge are
+//!   the *timing errors* the paper's masking circuit hides.
+//! - [`aging`]: wearout models producing per-gate delay scale factors.
+//! - [`power`]: switching-activity dynamic power estimation (Table 2's
+//!   power-overhead column).
+//! - [`patterns`]: deterministic random workloads.
+//!
+//! # Example: watch a timing error appear and measure it
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tm_netlist::{circuits::comparator2, library::lsi10k_like, Delay};
+//! use tm_sim::timing::TimingSim;
+//!
+//! let nl = comparator2(Arc::new(lsi10k_like()));
+//! let sim = TimingSim::new(&nl);
+//! let prev = vec![false; 4];
+//! let next = vec![false, false, true, false]; // exercises the 7-unit path
+//! // Clock faster than the speed-path: the output mis-samples.
+//! assert!(sim.transition(&prev, &next, Delay::new(6.3)).has_error());
+//! assert!(!sim.transition(&prev, &next, Delay::new(7.0)).has_error());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod func;
+pub mod patterns;
+pub mod power;
+pub mod timing;
+
+pub use aging::AgingModel;
+pub use func::PatternBlock;
+pub use power::PowerEstimate;
+pub use timing::{TimingSim, TransitionResult};

@@ -1,0 +1,59 @@
+//! Pattern sources for simulation workloads.
+
+use crate::func::PatternBlock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random pattern block of `count` patterns over
+/// `num_inputs` inputs.
+///
+/// # Panics
+///
+/// Panics if `count` is 0 or exceeds 64.
+pub fn random_block(num_inputs: usize, count: usize, rng: &mut StdRng) -> PatternBlock {
+    assert!((1..=64).contains(&count), "block size must be 1..=64");
+    let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
+    let words: Vec<u64> = (0..num_inputs).map(|_| rng.gen::<u64>() & mask).collect();
+    PatternBlock::from_words(words, count)
+}
+
+/// `count` uniformly random input vectors, deterministic in `seed`.
+pub fn random_vectors(num_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..num_inputs).map(|_| rng.gen::<bool>()).collect())
+        .collect()
+}
+
+/// Converts a `u64` minterm index to an input vector of `num_inputs`
+/// bits (bit `i` → input `i`).
+pub fn minterm_to_vector(num_inputs: usize, minterm: u64) -> Vec<bool> {
+    (0..num_inputs).map(|i| (minterm >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_vectors_deterministic() {
+        assert_eq!(random_vectors(8, 10, 3), random_vectors(8, 10, 3));
+        assert_ne!(random_vectors(8, 10, 3), random_vectors(8, 10, 4));
+    }
+
+    #[test]
+    fn block_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for count in [1usize, 17, 64] {
+            let b = random_block(5, count, &mut rng);
+            assert_eq!(b.len(), count);
+            assert_eq!(b.words().len(), 5);
+        }
+    }
+
+    #[test]
+    fn minterm_expansion() {
+        assert_eq!(minterm_to_vector(3, 0b101), vec![true, false, true]);
+        assert_eq!(minterm_to_vector(2, 0), vec![false, false]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Event-driven gate-level timing simulation.
+//!
+//! This is the "silicon" the reproduction observes: a two-vector
+//! transition is played through the netlist with per-pin transport
+//! delays, the outputs are sampled at the clock edge, and any output
+//! still in flight produces a *timing error* — exactly the failure mode
+//! the paper's error-masking circuit exists to hide.
+//!
+//! Gate delays can be scaled per gate (aging, variation), so the same
+//! machinery drives the wearout experiments of §2.1.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tm_netlist::{Delay, GateId, Netlist};
+
+/// Hard cap on simulation events per transition; a combinational
+/// netlist settles long before this.
+const MAX_EVENTS: usize = 50_000_000;
+
+/// Sampling guard band: event times accumulate one quantization
+/// rounding per gate hop, so a transition that mathematically lands
+/// exactly on the clock edge can drift a few femto-units past it.
+/// Sampling treats anything within this band as having arrived — four
+/// orders of magnitude below the smallest cell delay (0.65 units), so
+/// it can never hide a real timing error.
+const SAMPLING_GUARD: Delay = Delay::from_units_const(1e-3);
+
+/// Result of simulating one input transition.
+#[derive(Clone, Debug)]
+pub struct TransitionResult {
+    /// Output values latched at the sample (clock) time.
+    pub sampled: Vec<bool>,
+    /// Final settled output values (= functional evaluation of the new
+    /// inputs).
+    pub settled: Vec<bool>,
+    /// Time of the last transition observed at each output.
+    pub output_settle: Vec<Delay>,
+    /// Time of the last transition anywhere in the circuit.
+    pub settle_time: Delay,
+}
+
+impl TransitionResult {
+    /// Per-output timing-error flags: sampled value differs from the
+    /// settled value.
+    pub fn errors(&self) -> Vec<bool> {
+        self.sampled
+            .iter()
+            .zip(&self.settled)
+            .map(|(&s, &f)| s != f)
+            .collect()
+    }
+
+    /// Whether any output mis-sampled.
+    pub fn has_error(&self) -> bool {
+        self.sampled.iter().zip(&self.settled).any(|(s, f)| s != f)
+    }
+}
+
+/// An event-driven timing simulator bound to a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_netlist::{circuits::comparator2, library::lsi10k_like, Delay};
+/// use tm_sim::timing::TimingSim;
+///
+/// let nl = comparator2(Arc::new(lsi10k_like()));
+/// let sim = TimingSim::new(&nl);
+/// // Launch a transition and sample after the full critical path: clean.
+/// let all0 = vec![false; 4];
+/// let b0_rise = vec![false, false, true, false];
+/// let r = sim.transition(&all0, &b0_rise, Delay::new(7.0));
+/// assert!(!r.has_error());
+/// ```
+#[derive(Debug)]
+pub struct TimingSim<'a> {
+    netlist: &'a Netlist,
+    scale: Vec<f64>,
+    /// Per net: list of (gate, pin) readers.
+    readers: Vec<Vec<(GateId, usize)>>,
+}
+
+impl<'a> TimingSim<'a> {
+    /// Simulator with nominal delays.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Self::with_scale(netlist, vec![1.0; netlist.num_gates()])
+    }
+
+    /// Simulator with per-gate delay multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale vector length differs from the gate count or
+    /// contains non-positive factors.
+    pub fn with_scale(netlist: &'a Netlist, scale: Vec<f64>) -> Self {
+        assert_eq!(scale.len(), netlist.num_gates(), "one scale factor per gate");
+        assert!(scale.iter().all(|s| s.is_finite() && *s > 0.0), "bad scale factor");
+        let mut readers = vec![Vec::new(); netlist.num_nets()];
+        for (gid, g) in netlist.gates() {
+            for (pin, &inp) in g.inputs().iter().enumerate() {
+                readers[inp.index()].push((gid, pin));
+            }
+        }
+        TimingSim { netlist, scale, readers }
+    }
+
+    fn pin_delay(&self, gate: GateId, pin: usize) -> Delay {
+        let g = self.netlist.gate(gate);
+        self.netlist.library().cell(g.cell()).pin_delay(pin) * self.scale[gate.index()]
+    }
+
+    fn gate_output(&self, gate: GateId, values: &[bool]) -> bool {
+        let g = self.netlist.gate(gate);
+        let mut minterm = 0u64;
+        for (pin, &inp) in g.inputs().iter().enumerate() {
+            if values[inp.index()] {
+                minterm |= 1 << pin;
+            }
+        }
+        self.netlist.library().cell(g.cell()).function().eval(minterm)
+    }
+
+    /// Simulates the transition from `prev` to `next` input vectors,
+    /// sampling primary outputs at `sample_time` after the input change.
+    ///
+    /// The circuit starts settled on `prev` (inputs switched at `t = 0`)
+    /// and is simulated to quiescence with transport-delay semantics;
+    /// glitches are modelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector arities differ from the input count, or the
+    /// event budget is exhausted (indicating a cyclic netlist).
+    pub fn transition(&self, prev: &[bool], next: &[bool], sample_time: Delay) -> TransitionResult {
+        let times = vec![sample_time; self.netlist.outputs().len()];
+        self.transition_with_sample_times(prev, next, &times)
+    }
+
+    /// Like [`TimingSim::transition`], but with an individual sample
+    /// time per primary output (in output order).
+    ///
+    /// Masked designs capture the MUXed outputs one MUX delay after the
+    /// nominal edge (the "marginal, quantifiable impact" of the masking
+    /// MUX the paper compensates during synthesis); per-output sample
+    /// times model that skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches or event-budget exhaustion.
+    pub fn transition_with_sample_times(
+        &self,
+        prev: &[bool],
+        next: &[bool],
+        sample_times: &[Delay],
+    ) -> TransitionResult {
+        assert_eq!(prev.len(), self.netlist.inputs().len(), "prev arity mismatch");
+        assert_eq!(next.len(), self.netlist.inputs().len(), "next arity mismatch");
+        assert_eq!(
+            sample_times.len(),
+            self.netlist.outputs().len(),
+            "one sample time per output"
+        );
+
+        let mut values = self.netlist.eval_all_nets(prev);
+        let outputs = self.netlist.outputs();
+
+        // Per-output change history (time, value), for sampling.
+        let mut histories: Vec<Vec<(Delay, bool)>> = vec![Vec::new(); outputs.len()];
+        let out_pos: std::collections::HashMap<usize, usize> = outputs
+            .iter()
+            .enumerate()
+            .map(|(pos, &o)| (o.index(), pos))
+            .collect();
+
+        // Event heap: (quantized time, sequence, net index, new value).
+        let mut heap: BinaryHeap<Reverse<(i64, u64, usize, bool)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (pos, &net) in self.netlist.inputs().iter().enumerate() {
+            if prev[pos] != next[pos] {
+                heap.push(Reverse((0, seq, net.index(), next[pos])));
+                seq += 1;
+            }
+        }
+
+        let mut settle_time = Delay::ZERO;
+        let mut events = 0usize;
+        while let Some(Reverse((qt, _, net_idx, value))) = heap.pop() {
+            events += 1;
+            assert!(events <= MAX_EVENTS, "event budget exhausted; netlist cyclic?");
+            if values[net_idx] == value {
+                continue; // superseded or redundant event
+            }
+            let t = Delay::from_quantized(qt);
+            values[net_idx] = value;
+            settle_time = settle_time.max(t);
+            if let Some(&pos) = out_pos.get(&net_idx) {
+                histories[pos].push((t, value));
+            }
+            for &(gate, pin) in &self.readers[net_idx] {
+                let new_out = self.gate_output(gate, &values);
+                let out_net = self.netlist.gate(gate).output();
+                let fire = t + self.pin_delay(gate, pin);
+                heap.push(Reverse((fire.quantize(), seq, out_net.index(), new_out)));
+                seq += 1;
+            }
+        }
+
+        let settled: Vec<bool> = outputs.iter().map(|&o| values[o.index()]).collect();
+        let initial = self.netlist.eval(prev);
+        let mut sampled = Vec::with_capacity(outputs.len());
+        let mut output_settle = Vec::with_capacity(outputs.len());
+        for (pos, hist) in histories.iter().enumerate() {
+            let mut v = initial[pos];
+            let mut last = Delay::ZERO;
+            for &(t, val) in hist {
+                if t <= sample_times[pos] + SAMPLING_GUARD {
+                    v = val;
+                }
+                last = last.max(t);
+            }
+            sampled.push(v);
+            output_settle.push(last);
+        }
+        TransitionResult { sampled, settled, output_settle, settle_time }
+    }
+
+    /// Convenience: simulate a sequence of input vectors as consecutive
+    /// clock cycles with period `clock`, returning one
+    /// [`TransitionResult`] per applied vector (the first vector
+    /// initializes the state and produces no result).
+    pub fn run_sequence(&self, vectors: &[Vec<bool>], clock: Delay) -> Vec<TransitionResult> {
+        let mut results = Vec::new();
+        for pair in vectors.windows(2) {
+            results.push(self.transition(&pair[0], &pair[1], clock));
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_netlist::circuits::{comparator2, ripple_adder};
+    use tm_netlist::library::lsi10k_like;
+
+    fn comparator() -> Netlist {
+        comparator2(Arc::new(lsi10k_like()))
+    }
+
+    #[test]
+    fn settles_to_functional_value() {
+        let nl = comparator();
+        let sim = TimingSim::new(&nl);
+        for from in 0..16u64 {
+            for to in 0..16u64 {
+                let prev: Vec<bool> = (0..4).map(|i| (from >> i) & 1 == 1).collect();
+                let next: Vec<bool> = (0..4).map(|i| (to >> i) & 1 == 1).collect();
+                let r = sim.transition(&prev, &next, Delay::new(100.0));
+                assert_eq!(r.settled, nl.eval(&next), "{from}->{to}");
+                assert_eq!(r.sampled, r.settled, "late sample is error-free");
+                assert!(r.settle_time <= Delay::new(7.0));
+            }
+        }
+    }
+
+    #[test]
+    fn early_sampling_creates_timing_errors() {
+        let nl = comparator();
+        let sim = TimingSim::new(&nl);
+        // The 7-unit path b0 → nb0 → t2 → t4 → y: start at a=0,b=0
+        // (y=1: 0>=0), then raise b0 so y must fall (0 < 1).
+        let prev = vec![false, false, false, false];
+        let next = vec![false, false, true, false];
+        let clean = sim.transition(&prev, &next, Delay::new(7.0));
+        assert!(!clean.has_error());
+        assert_eq!(clean.output_settle[0], Delay::new(7.0));
+        // Sampling at 6.3 (the paper's Δ_y) catches the old value.
+        let bad = sim.transition(&prev, &next, Delay::new(6.3));
+        assert!(bad.has_error());
+        assert!(bad.sampled[0]);
+        assert!(!bad.settled[0]);
+    }
+
+    #[test]
+    fn short_path_transitions_sample_cleanly() {
+        let nl = comparator();
+        let sim = TimingSim::new(&nl);
+        // a1 rising with everything else 0: path a1→t1→y is 4 units.
+        let prev = vec![false, false, false, false];
+        let next = vec![false, true, false, false];
+        let r = sim.transition(&prev, &next, Delay::new(6.3));
+        assert!(!r.has_error());
+    }
+
+    #[test]
+    fn aging_pushes_paths_past_the_clock() {
+        let nl = comparator();
+        // Slow every gate by 10%: the 7-path becomes 7.7 > 7.0 clock.
+        let sim = TimingSim::with_scale(&nl, vec![1.1; nl.num_gates()]);
+        let prev = vec![false, false, false, false];
+        let next = vec![false, false, true, false];
+        let r = sim.transition(&prev, &next, Delay::new(7.0));
+        assert!(r.has_error());
+        // Nominal silicon is clean at the same clock.
+        let fresh = TimingSim::new(&nl);
+        assert!(!fresh.transition(&prev, &next, Delay::new(7.0)).has_error());
+    }
+
+    #[test]
+    fn sequences_apply_in_order() {
+        let nl = comparator();
+        let sim = TimingSim::new(&nl);
+        let vectors = vec![
+            vec![false, false, false, false],
+            vec![true, true, false, false],
+            vec![false, false, true, true],
+        ];
+        let rs = sim.run_sequence(&vectors, Delay::new(10.0));
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].settled, nl.eval(&vectors[1]));
+        assert_eq!(rs[1].settled, nl.eval(&vectors[2]));
+    }
+
+    #[test]
+    fn glitches_do_not_corrupt_final_state() {
+        // Reconvergent XOR logic in the adder glitches under skewed
+        // arrival; final values must still match functional simulation.
+        let lib = Arc::new(lsi10k_like());
+        let nl = ripple_adder(lib, 4);
+        let sim = TimingSim::new(&nl);
+        let prev: Vec<bool> = vec![false; 9];
+        let next: Vec<bool> = vec![true, true, true, true, true, false, false, false, true];
+        let r = sim.transition(&prev, &next, Delay::new(200.0));
+        assert_eq!(r.settled, nl.eval(&next));
+        assert!(!r.has_error());
+    }
+
+    #[test]
+    fn no_change_means_no_events() {
+        let nl = comparator();
+        let sim = TimingSim::new(&nl);
+        let v = vec![true, false, true, false];
+        let r = sim.transition(&v, &v, Delay::ZERO);
+        assert_eq!(r.settle_time, Delay::ZERO);
+        assert!(!r.has_error());
+    }
+}

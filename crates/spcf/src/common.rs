@@ -1,0 +1,309 @@
+//! Shared infrastructure for the SPCF engines: gate prime-implicant
+//! caches, global net functions, and the result types.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use tm_logic::bdd::{Bdd, BddRef};
+use tm_logic::{qm, Cube};
+use tm_netlist::netlist::Driver;
+use tm_netlist::{CellId, Delay, NetId, Netlist};
+
+/// Which SPCF algorithm produced a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Static-marking node-based over-approximation (ref \[22\]).
+    NodeBased,
+    /// Exact path-based timed-waveform analysis (extension of \[22\], in
+    /// the spirit of ADD-based timing analysis \[27\]).
+    PathBased,
+    /// The paper's proposed short-path-based exact recursion (Eqn. 1).
+    ShortPath,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::NodeBased => write!(f, "node-based"),
+            Algorithm::PathBased => write!(f, "path-based"),
+            Algorithm::ShortPath => write!(f, "short-path-based"),
+        }
+    }
+}
+
+/// The SPCF of one critical primary output.
+#[derive(Clone, Copy, Debug)]
+pub struct OutputSpcf {
+    /// The critical primary output.
+    pub output: NetId,
+    /// Characteristic function of its speed-path activation patterns
+    /// (over the primary-input space of the shared BDD manager).
+    pub spcf: BddRef,
+}
+
+/// The SPCFs of every critical output of a circuit at one target time.
+#[derive(Clone, Debug)]
+pub struct SpcfSet {
+    /// The algorithm that produced this set.
+    pub algorithm: Algorithm,
+    /// Target arrival time `Δ_y` the set was computed against.
+    pub target: Delay,
+    /// Per critical output: the SPCF (outputs with empty SPCFs under
+    /// exact analysis are still listed if structurally critical).
+    pub outputs: Vec<OutputSpcf>,
+    /// Wall-clock time of the computation.
+    pub runtime: Duration,
+}
+
+impl SpcfSet {
+    /// The SPCF of a specific output, if it is in the set.
+    pub fn spcf_of(&self, output: NetId) -> Option<BddRef> {
+        self.outputs.iter().find(|o| o.output == output).map(|o| o.spcf)
+    }
+
+    /// Union of all per-output SPCFs: the patterns that sensitize *some*
+    /// speed-path.
+    ///
+    /// **Cost warning**: the disjunction of many SPCFs with scattered
+    /// variable supports can blow up under a fixed variable order; for
+    /// reporting, prefer [`SpcfSet::critical_pattern_count`], which sums
+    /// per-output counts instead.
+    pub fn union(&self, bdd: &mut Bdd) -> BddRef {
+        bdd.or_all(self.outputs.iter().map(|o| o.spcf))
+    }
+
+    /// Number of critical patterns summed over the critical outputs
+    /// (the paper's "number of input patterns in the SPCF over all
+    /// critical primary outputs"; a pattern sensitizing speed-paths to
+    /// several outputs counts once per output).
+    pub fn critical_pattern_count(&self, bdd: &Bdd) -> f64 {
+        self.outputs.iter().map(|o| bdd.sat_count(o.spcf)).sum()
+    }
+
+    /// Outputs whose SPCF is non-empty.
+    pub fn nonempty_outputs(&self, bdd: &Bdd) -> usize {
+        let zero = bdd.zero();
+        self.outputs.iter().filter(|o| o.spcf != zero).count()
+    }
+}
+
+/// Cache of on-set/off-set prime implicants per library cell.
+///
+/// Eqn. 1 needs "the set of all prime implicants in the on-set and
+/// off-set of f" for every gate; cells repeat, so compute them once.
+#[derive(Debug, Default)]
+pub struct GatePrimes {
+    cache: HashMap<CellId, (Vec<Cube>, Vec<Cube>)>,
+}
+
+impl GatePrimes {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(on_primes, off_primes)` of the cell's function, cached.
+    pub fn of(&mut self, netlist: &Netlist, cell: CellId) -> &(Vec<Cube>, Vec<Cube>) {
+        self.cache.entry(cell).or_insert_with(|| {
+            qm::on_off_primes(netlist.library().cell(cell).function())
+        })
+    }
+}
+
+/// Builds the global BDD of every net over the primary-input space (BDD
+/// variable `i` = input position `i`); index by `NetId::index`.
+///
+/// # Panics
+///
+/// Panics if the manager has fewer variables than the netlist has
+/// inputs.
+pub fn net_global_bdds(netlist: &Netlist, bdd: &mut Bdd) -> Vec<BddRef> {
+    assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
+    let mut refs = vec![bdd.zero(); netlist.num_nets()];
+    for (pos, &net) in netlist.inputs().iter().enumerate() {
+        refs[net.index()] = bdd.var(pos);
+    }
+    for (_, g) in netlist.gates() {
+        let f = netlist.library().cell(g.cell()).function();
+        let ins: Vec<BddRef> = g.inputs().iter().map(|i| refs[i.index()]).collect();
+        // Shannon-style build from the cell truth table's minimized
+        // covers would also work; for ≤4-input cells the direct minterm
+        // expansion is fine and simple.
+        let mut terms = Vec::new();
+        for m in 0..(1u64 << ins.len()) {
+            if !f.eval(m) {
+                continue;
+            }
+            let lits: Vec<BddRef> = ins
+                .iter()
+                .enumerate()
+                .map(|(pin, &w)| if (m >> pin) & 1 == 1 { w } else { bdd.not(w) })
+                .collect();
+            terms.push(bdd.and_all(lits));
+        }
+        refs[g.output().index()] = bdd.or_all(terms);
+    }
+    refs
+}
+
+/// Lazily computed global net functions over the primary-input space.
+///
+/// Only nets actually queried (plus their transitive fanins) are built —
+/// engines that touch a small part of the circuit (the node-based pass
+/// only needs the fanins of critical gates) avoid the full sweep of
+/// [`net_global_bdds`].
+#[derive(Debug)]
+pub struct LazyGlobals {
+    refs: Vec<Option<BddRef>>,
+}
+
+impl LazyGlobals {
+    /// An empty cache for the given netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        LazyGlobals { refs: vec![None; netlist.num_nets()] }
+    }
+
+    /// The global function of `net`, building fanin functions on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has fewer variables than the netlist has
+    /// inputs.
+    pub fn of(&mut self, netlist: &Netlist, bdd: &mut Bdd, net: NetId) -> BddRef {
+        if let Some(f) = self.refs[net.index()] {
+            return f;
+        }
+        let f = match netlist.driver(net) {
+            Driver::PrimaryInput => {
+                let pos = netlist
+                    .input_position(net)
+                    .expect("input-driven net is a primary input");
+                bdd.var(pos)
+            }
+            Driver::Gate(gid) => {
+                let g = netlist.gate(gid);
+                let func = netlist.library().cell(g.cell()).function().clone();
+                let ins: Vec<BddRef> = g
+                    .inputs()
+                    .iter()
+                    .map(|&i| self.of(netlist, bdd, i))
+                    .collect();
+                let mut terms = Vec::new();
+                for m in 0..(1u64 << ins.len()) {
+                    if !func.eval(m) {
+                        continue;
+                    }
+                    let lits: Vec<BddRef> = ins
+                        .iter()
+                        .enumerate()
+                        .map(|(pin, &w)| if (m >> pin) & 1 == 1 { w } else { bdd.not(w) })
+                        .collect();
+                    terms.push(bdd.and_all(lits));
+                }
+                bdd.or_all(terms)
+            }
+        };
+        self.refs[net.index()] = Some(f);
+        f
+    }
+}
+
+/// Resolves a gate's fanins to *distinct* nets, pairing each with the
+/// worst (largest) pin delay among the pins it drives, and remaps the
+/// cell function onto the distinct-net variable order.
+///
+/// Almost every gate has distinct fanins; duplicates only arise from
+/// hand-built netlists, and taking the worst pin delay keeps the timed
+/// analyses safe (a literal is only considered settled when its slowest
+/// pin has propagated).
+pub fn distinct_fanins(
+    netlist: &Netlist,
+    sta: &tm_sta::Sta<'_>,
+    gate: tm_netlist::GateId,
+) -> (Vec<NetId>, Vec<Delay>, tm_logic::TruthTable) {
+    let g = netlist.gate(gate);
+    let mut nets: Vec<NetId> = Vec::new();
+    let mut delays: Vec<Delay> = Vec::new();
+    let mut pin_to_pos = Vec::with_capacity(g.inputs().len());
+    for (pin, &inp) in g.inputs().iter().enumerate() {
+        let d = sta.pin_delay(gate, pin);
+        match nets.iter().position(|&n| n == inp) {
+            Some(pos) => {
+                delays[pos] = delays[pos].max(d);
+                pin_to_pos.push(pos);
+            }
+            None => {
+                nets.push(inp);
+                delays.push(d);
+                pin_to_pos.push(nets.len() - 1);
+            }
+        }
+    }
+    let cell_tt = netlist.library().cell(g.cell()).function().clone();
+    let tt = tm_logic::TruthTable::from_fn(nets.len(), |m| {
+        let mut pins = 0u64;
+        for (pin, &pos) in pin_to_pos.iter().enumerate() {
+            if (m >> pos) & 1 == 1 {
+                pins |= 1 << pin;
+            }
+        }
+        cell_tt.eval(pins)
+    });
+    (nets, delays, tt)
+}
+
+/// True when `net` is driven by a gate (not a primary input).
+pub fn is_gate_output(netlist: &Netlist, net: NetId) -> bool {
+    matches!(netlist.driver(net), Driver::Gate(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+
+    #[test]
+    fn global_bdds_agree_with_eval() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let mut bdd = Bdd::new(4);
+        let refs = net_global_bdds(&nl, &mut bdd);
+        for m in 0..16u64 {
+            let a: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let vals = nl.eval_all_nets(&a);
+            for idx in 0..nl.num_nets() {
+                assert_eq!(bdd.eval(refs[idx], &a), vals[idx], "net {idx} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_primes_cached() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let mut primes = GatePrimes::new();
+        let (_, g) = nl.gates().next().unwrap();
+        let (on, off) = primes.of(&nl, g.cell()).clone();
+        // INV: on-set prime = x0', off-set = x0.
+        assert_eq!(on.len(), 1);
+        assert_eq!(off.len(), 1);
+        // Cache hit returns the same data.
+        let again = primes.of(&nl, g.cell()).clone();
+        assert_eq!(again.0.len(), 1);
+    }
+
+    #[test]
+    fn distinct_fanins_dedups() {
+        use tm_netlist::Netlist;
+        let lib = Arc::new(lsi10k_like());
+        let mut nl = Netlist::new("dup", lib.clone());
+        let a = nl.add_input("a");
+        // AND2(a, a) = a
+        let y = nl.add_gate(lib.expect("AND2"), &[a, a], "y");
+        nl.mark_output(y);
+        let sta = tm_sta::Sta::new(&nl);
+        let (nets, delays, tt) = distinct_fanins(&nl, &sta, tm_netlist::GateId::from_index(0));
+        assert_eq!(nets, vec![a]);
+        assert_eq!(delays.len(), 1);
+        assert!(tt.eval(1) && !tt.eval(0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Node-based over-approximate SPCF computation (the baseline of ref
+//! \[22\]).
+//!
+//! Gates are *statically* marked critical from arrival/required slack
+//! before a single topological pass; the pass then computes, per net, an
+//! "on-time" function with no time parameter at all:
+//!
+//! - primary inputs and non-critical gates are always on time;
+//! - a critical gate is on time when some prime implicant of its
+//!   function is satisfied with every constituent literal itself on
+//!   time.
+//!
+//! Because a multi-fanout gate that is critical along only one fanout is
+//! marked critical for *all* fanouts (its required time is the minimum
+//! over fanouts), the complement of the on-time function
+//! over-approximates the exact SPCF — precisely the inaccuracy the paper
+//! attributes to node-based traversal, and the reason Table 1's
+//! node-based pattern counts are supersets of the exact ones. The
+//! inclusion `Σ_exact ⊆ Σ_node` is proved in `DESIGN.md` and asserted by
+//! property tests.
+
+use crate::common::{distinct_fanins, Algorithm, LazyGlobals, OutputSpcf, SpcfSet};
+use std::time::Instant;
+use tm_logic::bdd::{Bdd, BddRef};
+use tm_logic::qm;
+use tm_netlist::{Delay, Netlist};
+use tm_sta::Sta;
+
+/// Computes the over-approximate SPCF of every critical output with the
+/// node-based algorithm of ref \[22\].
+///
+/// The result is a superset of the exact SPCF per output (equality on
+/// circuits without multi-fanout criticality sharing), computed in one
+/// topological pass — the fastest of the three engines.
+///
+/// # Panics
+///
+/// Panics if the BDD manager is too narrow or `sta` analyzes a
+/// different netlist.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_logic::Bdd;
+/// use tm_netlist::{circuits::comparator2, library::lsi10k_like, Delay};
+/// use tm_spcf::{node_based_spcf, short_path_spcf};
+/// use tm_sta::Sta;
+///
+/// let nl = comparator2(Arc::new(lsi10k_like()));
+/// let sta = Sta::new(&nl);
+/// let mut bdd = Bdd::new(4);
+/// let over = node_based_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+/// let exact = short_path_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+/// // Over-approximation contains the exact set.
+/// let (o, e) = (over.outputs[0].spcf, exact.outputs[0].spcf);
+/// assert!(bdd.is_subset(e, o));
+/// ```
+pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
+    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    let start = Instant::now();
+    let mut globals = LazyGlobals::new(netlist);
+    let required = sta.required(target);
+    let one = bdd.one();
+    let zero = bdd.zero();
+
+    // on_time[net]: patterns for which the net is guaranteed settled by
+    // its static required time. Primary inputs settle at t = 0, so a PI
+    // whose required time went negative (it starts a violating path) is
+    // never "on time" — this is where lateness originates.
+    let mut on_time: Vec<BddRef> = vec![one; netlist.num_nets()];
+    for &pi in netlist.inputs() {
+        if required[pi.index()].is_finite() && required[pi.index()] < Delay::ZERO {
+            on_time[pi.index()] = zero;
+        }
+    }
+    for (gid, g) in netlist.gates() {
+        let out = g.output();
+        let req_out = required[out.index()];
+        let slack_ok = !req_out.is_finite() || sta.arrival(out) <= req_out;
+        if slack_ok {
+            continue; // non-critical gates meet timing on every pattern
+        }
+        let (fanins, delays, tt) = distinct_fanins(netlist, sta, gid);
+        let (on_primes, off_primes) = qm::on_off_primes(&tt);
+        let mut terms = Vec::with_capacity(on_primes.len() + off_primes.len());
+        for p in on_primes.iter().chain(&off_primes) {
+            let mut lits = Vec::with_capacity(p.literal_count() as usize);
+            for (pos, pol) in p.literals() {
+                let u = fanins[pos];
+                let f = globals.of(netlist, bdd, u);
+                let value = if pol { f } else { bdd.not(f) };
+                // Static edge check: if the worst arrival through this
+                // edge meets the gate's required time, the literal is
+                // always on time; otherwise fall back to the fanin's own
+                // static on-time set (the node-based approximation).
+                let edge_meets = sta.arrival(u) + delays[pos] <= req_out;
+                let lit = if edge_meets {
+                    value
+                } else {
+                    bdd.and(value, on_time[u.index()])
+                };
+                lits.push(lit);
+            }
+            terms.push(bdd.and_all(lits));
+        }
+        on_time[out.index()] = bdd.or_all(terms);
+    }
+
+    let mut outputs = Vec::new();
+    for &o in netlist.outputs() {
+        if sta.arrival(o) <= target {
+            continue;
+        }
+        let spcf = bdd.not(on_time[o.index()]);
+        outputs.push(OutputSpcf { output: o, spcf });
+    }
+
+    SpcfSet {
+        algorithm: Algorithm::NodeBased,
+        target,
+        outputs,
+        runtime: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::short_path::short_path_spcf;
+    use std::sync::Arc;
+    use tm_netlist::circuits::{comparator2, mini_alu, priority_encoder, ripple_adder};
+    use tm_netlist::library::lsi10k_like;
+
+    #[test]
+    fn comparator_node_based_superset() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let over = node_based_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        let exact = short_path_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        assert_eq!(over.outputs.len(), 1);
+        let o = over.outputs[0].spcf;
+        let e = exact.outputs[0].spcf;
+        assert!(bdd.is_subset(e, o));
+        assert!(over.critical_pattern_count(&bdd) >= exact.critical_pattern_count(&bdd));
+    }
+
+    #[test]
+    fn superset_on_many_circuits_and_targets() {
+        let lib = Arc::new(lsi10k_like());
+        for nl in [
+            ripple_adder(lib.clone(), 3),
+            mini_alu(lib.clone(), 2),
+            priority_encoder(lib.clone(), 5),
+        ] {
+            let sta = Sta::new(&nl);
+            let delta = sta.critical_path_delay();
+            for frac in [0.7, 0.85, 0.95] {
+                let target = delta * frac;
+                let mut bdd = Bdd::new(nl.inputs().len());
+                let over = node_based_spcf(&nl, &sta, &mut bdd, target);
+                let exact = short_path_spcf(&nl, &sta, &mut bdd, target);
+                assert_eq!(over.outputs.len(), exact.outputs.len());
+                for (a, b) in over.outputs.iter().zip(&exact.outputs) {
+                    assert_eq!(a.output, b.output);
+                    assert!(
+                        bdd.is_subset(b.spcf, a.spcf),
+                        "{} target {frac}: node-based lost exact patterns",
+                        nl.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_critical_outputs_above_delta() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let set = node_based_spcf(&nl, &sta, &mut bdd, Delay::new(7.5));
+        assert!(set.outputs.is_empty());
+    }
+}

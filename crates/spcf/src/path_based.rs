@@ -1,0 +1,297 @@
+//! Exact path-based SPCF computation via timed stabilization waveforms.
+//!
+//! This is the "proposed path-based extension of \[22\]" column of
+//! Table 1: instead of querying stabilization at a single target time
+//! (as the short-path algorithm does), it computes — in the spirit of
+//! the ADD-based timing analysis of ref \[27\] — the *complete* step
+//! function `t ↦ (stab¹(t), stab⁰(t))` of every net, with one breakpoint
+//! per distinct path-delay value reaching the net. The SPCF is then a
+//! single waveform lookup. The result is exactly the same as the
+//! short-path algorithm; the cost of materializing every breakpoint is
+//! what makes it measurably slower (the paper reports ~3.5× vs the
+//! node-based pass).
+
+use crate::common::{distinct_fanins, Algorithm, OutputSpcf, SpcfSet};
+use std::time::Instant;
+use tm_logic::bdd::{Bdd, BddRef};
+use tm_logic::qm;
+use tm_netlist::{Delay, Netlist};
+use tm_sta::Sta;
+
+/// A per-net timed stabilization step function.
+///
+/// For `t ∈ [times[k], times[k+1])` the set of patterns settled to 1
+/// (resp. 0) by `t` is `stab1[k]` (`stab0[k]`); before `times[0]`
+/// nothing has settled.
+#[derive(Clone, Debug)]
+struct Waveform {
+    times: Vec<i64>,
+    stab1: Vec<BddRef>,
+    stab0: Vec<BddRef>,
+}
+
+impl Waveform {
+    fn lookup(&self, qt: i64, zero: BddRef) -> (BddRef, BddRef) {
+        match self.times.partition_point(|&t| t <= qt).checked_sub(1) {
+            Some(k) => (self.stab1[k], self.stab0[k]),
+            None => (zero, zero),
+        }
+    }
+}
+
+/// Computes the exact SPCF of every critical output by full timed
+/// waveform propagation.
+///
+/// Produces the same SPCFs as [`crate::short_path_spcf`] (both are
+/// exact); used as the accuracy reference and the runtime baseline of
+/// Table 1.
+///
+/// # Panics
+///
+/// Panics if the BDD manager is too narrow or `sta` analyzes a
+/// different netlist.
+pub fn path_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
+    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    let start = Instant::now();
+    let zero = bdd.zero();
+    let waves = build_waveforms(netlist, sta, bdd);
+
+    let qt = target.quantize();
+    let mut outputs = Vec::new();
+    for &o in netlist.outputs() {
+        if sta.arrival(o) <= target {
+            continue;
+        }
+        let (s1, s0) = waves[o.index()].as_ref().expect("output wave").lookup(qt, zero);
+        let settled = bdd.or(s1, s0);
+        let spcf = bdd.not(settled);
+        outputs.push(OutputSpcf { output: o, spcf });
+    }
+
+    SpcfSet {
+        algorithm: Algorithm::PathBased,
+        target,
+        outputs,
+        runtime: start.elapsed(),
+    }
+}
+
+/// Exact (floating-mode) stabilization delay of every primary output:
+/// the smallest time by which *every* input pattern has settled.
+///
+/// Always ≤ the structural STA arrival; strictly smaller when the
+/// longest structural paths are **false paths** (never dynamically
+/// sensitized) — the reason some of Table 2's deep circuits report
+/// critical outputs with near-empty SPCFs.
+pub fn exact_output_delays(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+) -> Vec<(tm_netlist::NetId, Delay)> {
+    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    let waves = build_waveforms(netlist, sta, bdd);
+    let one = bdd.one();
+    netlist
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let w = waves[o.index()].as_ref().expect("output wave");
+            let mut exact = *w.times.last().expect("nonempty waveform");
+            for (k, &t) in w.times.iter().enumerate() {
+                let settled = bdd.or(w.stab1[k], w.stab0[k]);
+                if settled == one {
+                    exact = t;
+                    break;
+                }
+            }
+            (o, Delay::from_quantized(exact))
+        })
+        .collect()
+}
+
+/// Builds the complete timed stabilization waveform of every net.
+fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Option<Waveform>> {
+    assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
+    let zero = bdd.zero();
+
+    let mut waves: Vec<Option<Waveform>> = vec![None; netlist.num_nets()];
+    for (pos, &net) in netlist.inputs().iter().enumerate() {
+        let lit = bdd.var(pos);
+        let nlit = bdd.not(lit);
+        waves[net.index()] = Some(Waveform { times: vec![0], stab1: vec![lit], stab0: vec![nlit] });
+    }
+
+    for (gid, g) in netlist.gates() {
+        let (fanins, delays, tt) = distinct_fanins(netlist, sta, gid);
+        let (on_primes, off_primes) = qm::on_off_primes(&tt);
+        let delays_q: Vec<i64> = delays.iter().map(|d| d.quantize()).collect();
+
+        // Candidate breakpoints: every fanin breakpoint shifted by its
+        // pin delay. Constant gates settle at time 0.
+        let mut times: Vec<i64> = Vec::new();
+        if fanins.is_empty() {
+            times.push(0);
+        }
+        for (pos, &f) in fanins.iter().enumerate() {
+            let w = waves[f.index()].as_ref().expect("topological order");
+            for &t in &w.times {
+                times.push(t + delays_q[pos]);
+            }
+        }
+        times.sort_unstable();
+        times.dedup();
+
+        let mut stab1 = Vec::with_capacity(times.len());
+        let mut stab0 = Vec::with_capacity(times.len());
+        for &t in &times {
+            // Look up each fanin's stabilization just in time.
+            let fanin_stabs: Vec<(BddRef, BddRef)> = fanins
+                .iter()
+                .enumerate()
+                .map(|(pos, &f)| {
+                    waves[f.index()]
+                        .as_ref()
+                        .expect("topological order")
+                        .lookup(t - delays_q[pos], zero)
+                })
+                .collect();
+            let mut on_terms = Vec::with_capacity(on_primes.len());
+            for p in &on_primes {
+                let lits: Vec<BddRef> = p
+                    .literals()
+                    .map(|(pos, pol)| if pol { fanin_stabs[pos].0 } else { fanin_stabs[pos].1 })
+                    .collect();
+                on_terms.push(bdd.and_all(lits));
+            }
+            let mut off_terms = Vec::with_capacity(off_primes.len());
+            for p in &off_primes {
+                let lits: Vec<BddRef> = p
+                    .literals()
+                    .map(|(pos, pol)| if pol { fanin_stabs[pos].0 } else { fanin_stabs[pos].1 })
+                    .collect();
+                off_terms.push(bdd.and_all(lits));
+            }
+            stab1.push(bdd.or_all(on_terms));
+            stab0.push(bdd.or_all(off_terms));
+        }
+
+        // Compress runs of identical steps.
+        let mut ct = Vec::with_capacity(times.len());
+        let mut c1 = Vec::with_capacity(times.len());
+        let mut c0 = Vec::with_capacity(times.len());
+        for k in 0..times.len() {
+            if k == 0 || stab1[k] != c1[ct.len() - 1] || stab0[k] != c0[ct.len() - 1] {
+                ct.push(times[k]);
+                c1.push(stab1[k]);
+                c0.push(stab0[k]);
+            }
+        }
+        waves[g.output().index()] = Some(Waveform { times: ct, stab1: c1, stab0: c0 });
+    }
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::short_path::short_path_spcf;
+    use std::sync::Arc;
+    use tm_netlist::circuits::{comparator2, mini_alu, ripple_adder};
+    use tm_netlist::library::lsi10k_like;
+
+    #[test]
+    fn comparator_matches_paper_and_short_path() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let pb = path_based_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        let sp = short_path_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        assert_eq!(pb.outputs.len(), 1);
+        assert_eq!(pb.outputs[0].spcf, sp.outputs[0].spcf);
+        assert_eq!(pb.critical_pattern_count(&bdd), 10.0);
+    }
+
+    #[test]
+    fn agrees_with_short_path_on_arithmetic() {
+        let lib = Arc::new(lsi10k_like());
+        for nl in [ripple_adder(lib.clone(), 3), mini_alu(lib.clone(), 2)] {
+            let sta = Sta::new(&nl);
+            let delta = sta.critical_path_delay();
+            for frac in [0.75, 0.9, 0.95] {
+                let target = delta * frac;
+                let mut bdd = Bdd::new(nl.inputs().len());
+                let pb = path_based_spcf(&nl, &sta, &mut bdd, target);
+                let sp = short_path_spcf(&nl, &sta, &mut bdd, target);
+                assert_eq!(pb.outputs.len(), sp.outputs.len(), "{} {frac}", nl.name());
+                for (a, b) in pb.outputs.iter().zip(&sp.outputs) {
+                    assert_eq!(a.output, b.output);
+                    assert_eq!(a.spcf, b.spcf, "{} output {:?} frac {frac}", nl.name(), a.output);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_delay_detects_false_paths() {
+        // Classic two-MUX false path: the slow input threads m1's
+        // s=1 branch but m2's s=0 branch — no pattern sensitizes the
+        // full structural path, so the exact delay is smaller than the
+        // structural arrival.
+        let lib = Arc::new(lsi10k_like());
+        let mut nl = tm_netlist::Netlist::new("falsepath", lib.clone());
+        let d = nl.add_input("d");
+        let f1 = nl.add_input("f1");
+        let f2 = nl.add_input("f2");
+        let s = nl.add_input("s");
+        let mut slow = d;
+        for k in 0..4 {
+            slow = nl.add_gate(lib.expect("INV"), &[slow], format!("sl{k}"));
+        }
+        let m1 = nl.add_gate(lib.expect("MUX2"), &[f1, slow, s], "m1");
+        let i1 = nl.add_gate(lib.expect("INV"), &[m1], "i1");
+        let i2 = nl.add_gate(lib.expect("INV"), &[i1], "i2");
+        let m2 = nl.add_gate(lib.expect("MUX2"), &[i2, f2, s], "m2");
+        nl.mark_output(m2);
+
+        let sta = Sta::new(&nl);
+        // Structural: d →4×INV→ MUX(2.6) →2×INV→ MUX(2.6) = 11.2.
+        assert_eq!(sta.critical_path_delay(), Delay::new(11.2));
+        let mut bdd = Bdd::new(4);
+        let exact = exact_output_delays(&nl, &sta, &mut bdd);
+        assert_eq!(exact.len(), 1);
+        // Exact: s=0 path f1 → MUX → 2×INV → MUX = 2.6+2+2.6 = 7.2.
+        assert!(
+            (exact[0].1.units() - 7.2).abs() < 1e-6,
+            "exact delay {:?}, expected 7.2",
+            exact[0].1
+        );
+        // And the SPCF above the exact delay is empty (false paths).
+        let set = path_based_spcf(&nl, &sta, &mut bdd, Delay::new(7.2));
+        let zero = bdd.zero();
+        assert!(set.outputs.iter().all(|o| o.spcf == zero));
+    }
+
+    #[test]
+    fn exact_delay_equals_structural_when_paths_are_true() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let exact = exact_output_delays(&nl, &sta, &mut bdd);
+        assert_eq!(exact[0].1, Delay::new(7.0));
+    }
+
+    #[test]
+    fn waveform_lookup_boundaries() {
+        // Degenerate check through the public API: at target == Δ the
+        // SPCF must be empty (all patterns settled by Δ).
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let set = path_based_spcf(&nl, &sta, &mut bdd, Delay::new(7.0));
+        assert!(set.outputs.is_empty());
+        // Just below Δ: the two 7-unit paths give a nonempty SPCF.
+        let set = path_based_spcf(&nl, &sta, &mut bdd, Delay::new(6.999));
+        assert_eq!(set.outputs.len(), 1);
+        assert!(set.critical_pattern_count(&bdd) > 0.0);
+    }
+}

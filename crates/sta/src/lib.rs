@@ -1,0 +1,446 @@
+//! Static timing analysis for technology-mapped netlists.
+//!
+//! Provides the timing quantities the paper's flow consumes:
+//!
+//! - worst-case **arrival times** per net and the **critical path delay**
+//!   `Δ` of the design;
+//! - **required times** and **slack** against a target arrival time
+//!   `Δ_y` (e.g. `0.9·Δ` when protecting speed-paths within 10 % of the
+//!   critical path, §3);
+//! - the set of **critical primary outputs** (outputs where speed-paths
+//!   terminate, §4) and **critical gates** (negative slack — the static
+//!   marking the node-based SPCF baseline of ref \[22\] relies on);
+//! - exact **path enumeration** above a delay threshold, with
+//!   arrival-time pruning (used by diagnostics and by tests that
+//!   cross-check the SPCF engines).
+//!
+//! Per-gate delay *scale factors* model aging and process variation:
+//! wearout experiments inflate the factors of speed-path gates and re-run
+//! the same analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tm_netlist::netlist::Driver;
+use tm_netlist::{Delay, GateId, NetId, Netlist};
+
+/// One structural path from a primary input to a primary output.
+#[derive(Clone, Debug)]
+pub struct TimingPath {
+    /// Nets along the path, primary input first, output net last.
+    pub nets: Vec<NetId>,
+    /// The gates traversed, paired with the input pin the path enters
+    /// through; `gates.len() == nets.len() - 1`.
+    pub gates: Vec<(GateId, usize)>,
+    /// Total pin-to-pin delay of the path.
+    pub delay: Delay,
+}
+
+/// Result of bounded path enumeration.
+#[derive(Clone, Debug)]
+pub struct PathEnumeration {
+    /// The discovered paths, longest first.
+    pub paths: Vec<TimingPath>,
+    /// Whether the enumeration stopped early at the path limit.
+    pub truncated: bool,
+}
+
+/// A static timing analysis view over a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_netlist::{circuits::comparator2, library::lsi10k_like, Delay};
+/// use tm_sta::Sta;
+///
+/// let nl = comparator2(Arc::new(lsi10k_like()));
+/// let sta = Sta::new(&nl);
+/// assert_eq!(sta.critical_path_delay(), Delay::new(7.0));
+/// // Speed-paths within 10% of Δ terminate at the single output.
+/// let critical = sta.critical_outputs(Delay::new(6.3));
+/// assert_eq!(critical.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Sta<'a> {
+    netlist: &'a Netlist,
+    /// Per-gate delay multiplier (aging/variation model).
+    scale: Vec<f64>,
+    arrivals: Vec<Delay>,
+}
+
+impl<'a> Sta<'a> {
+    /// Analysis with nominal (1.0×) gate delays.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Self::with_scale(netlist, vec![1.0; netlist.num_gates()])
+    }
+
+    /// Analysis with per-gate delay multipliers (index by
+    /// `GateId::index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale.len()` differs from the gate count or any factor
+    /// is not finite and positive.
+    pub fn with_scale(netlist: &'a Netlist, scale: Vec<f64>) -> Self {
+        assert_eq!(scale.len(), netlist.num_gates(), "one scale factor per gate");
+        assert!(
+            scale.iter().all(|s| s.is_finite() && *s > 0.0),
+            "scale factors must be finite and positive"
+        );
+        let mut sta = Sta { netlist, scale, arrivals: Vec::new() };
+        sta.arrivals = sta.compute_arrivals();
+        sta
+    }
+
+    /// The netlist under analysis.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Effective delay of `gate` input pin `pin` (library delay × the
+    /// gate's scale factor).
+    pub fn pin_delay(&self, gate: GateId, pin: usize) -> Delay {
+        let g = self.netlist.gate(gate);
+        let cell = self.netlist.library().cell(g.cell());
+        cell.pin_delay(pin) * self.scale[gate.index()]
+    }
+
+    fn compute_arrivals(&self) -> Vec<Delay> {
+        let mut arr = vec![Delay::ZERO; self.netlist.num_nets()];
+        for (gid, g) in self.netlist.gates() {
+            let mut worst = Delay::ZERO;
+            for (pin, &inp) in g.inputs().iter().enumerate() {
+                worst = worst.max(arr[inp.index()] + self.pin_delay(gid, pin));
+            }
+            arr[g.output().index()] = worst;
+        }
+        arr
+    }
+
+    /// Worst-case arrival time of every net (inputs arrive at time 0);
+    /// index by `NetId::index`.
+    pub fn arrivals(&self) -> &[Delay] {
+        &self.arrivals
+    }
+
+    /// Arrival time at one net.
+    pub fn arrival(&self, net: NetId) -> Delay {
+        self.arrivals[net.index()]
+    }
+
+    /// The critical path delay `Δ`: the worst arrival over all primary
+    /// outputs.
+    pub fn critical_path_delay(&self) -> Delay {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.arrivals[o.index()])
+            .fold(Delay::ZERO, Delay::max)
+    }
+
+    /// Required times per net against a target arrival at every primary
+    /// output. Nets driving nothing observable get an infinite required
+    /// time.
+    pub fn required(&self, target: Delay) -> Vec<Delay> {
+        let mut req = vec![Delay::new(f64::INFINITY); self.netlist.num_nets()];
+        for &o in self.netlist.outputs() {
+            req[o.index()] = req[o.index()].min(target);
+        }
+        // Reverse topological order = reverse gate order.
+        for (gid, g) in self.netlist.gates().collect::<Vec<_>>().into_iter().rev() {
+            let out_req = req[g.output().index()];
+            if !out_req.is_finite() {
+                continue;
+            }
+            for (pin, &inp) in g.inputs().iter().enumerate() {
+                let need = out_req - self.pin_delay(gid, pin);
+                req[inp.index()] = req[inp.index()].min(need);
+            }
+        }
+        req
+    }
+
+    /// Slack per net against a target: `required − arrival`. Negative
+    /// slack means the net lies on a speed-path violating the target.
+    pub fn slack(&self, target: Delay) -> Vec<Delay> {
+        self.required(target)
+            .into_iter()
+            .zip(&self.arrivals)
+            .map(|(r, &a)| if r.is_finite() { r - a } else { Delay::new(f64::INFINITY) })
+            .collect()
+    }
+
+    /// Primary outputs where at least one path longer than the target
+    /// terminates — the paper's *critical outputs* (§4: an output with
+    /// slack greater than `Δ − Δ_y` is not critical).
+    pub fn critical_outputs(&self, target: Delay) -> Vec<NetId> {
+        self.netlist
+            .outputs()
+            .iter()
+            .copied()
+            .filter(|&o| self.arrivals[o.index()] > target)
+            .collect()
+    }
+
+    /// Per-gate static criticality against the target: `true` when the
+    /// gate's output net has negative slack. This is exactly the static
+    /// marking the node-based SPCF algorithm \[22\] performs before its
+    /// topological pass.
+    pub fn critical_gates(&self, target: Delay) -> Vec<bool> {
+        let slack = self.slack(target);
+        self.netlist
+            .gates()
+            .map(|(_, g)| {
+                let s = slack[g.output().index()];
+                s.is_finite() && s < Delay::ZERO
+            })
+            .collect()
+    }
+
+    /// The single worst path terminating at `output`, reconstructed by
+    /// walking maximal-arrival fanins backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not a net of this netlist.
+    pub fn worst_path(&self, output: NetId) -> TimingPath {
+        let mut nets = vec![output];
+        let mut gates: Vec<(GateId, usize)> = Vec::new();
+        let mut cur = output;
+        while let Driver::Gate(gid) = self.netlist.driver(cur) {
+            let g = self.netlist.gate(gid);
+            // Constant generators (zero-input cells) terminate the path.
+            let Some((pin, &inp)) = g
+                .inputs()
+                .iter()
+                .enumerate()
+                .max_by(|(p1, &i1), (p2, &i2)| {
+                    let a1 = self.arrivals[i1.index()] + self.pin_delay(gid, *p1);
+                    let a2 = self.arrivals[i2.index()] + self.pin_delay(gid, *p2);
+                    a1.units().total_cmp(&a2.units())
+                })
+            else {
+                break;
+            };
+            gates.push((gid, pin));
+            nets.push(inp);
+            cur = inp;
+        }
+        nets.reverse();
+        gates.reverse();
+        TimingPath { nets, gates, delay: self.arrivals[output.index()] }
+    }
+
+    /// Enumerates **every** structural path to `output` whose delay
+    /// strictly exceeds `threshold`, up to `limit` paths.
+    ///
+    /// Arrival times prune the search exactly: a prefix is abandoned as
+    /// soon as no completion can exceed the threshold, so the
+    /// enumeration visits only viable prefixes. `truncated` is set if
+    /// the limit stopped the search early.
+    pub fn enumerate_paths(&self, output: NetId, threshold: Delay, limit: usize) -> PathEnumeration {
+        let mut result = Vec::new();
+        let mut truncated = false;
+        // Suffix stack: (net, suffix delay from net to output, partial
+        // path in reverse).
+        struct Frame {
+            net: NetId,
+            suffix: Delay,
+            gates_rev: Vec<(GateId, usize)>,
+            nets_rev: Vec<NetId>,
+        }
+        let mut stack = vec![Frame {
+            net: output,
+            suffix: Delay::ZERO,
+            gates_rev: Vec::new(),
+            nets_rev: vec![output],
+        }];
+        while let Some(frame) = stack.pop() {
+            if result.len() >= limit {
+                truncated = true;
+                break;
+            }
+            // Prune: the best completion through this net is its arrival.
+            if self.arrivals[frame.net.index()] + frame.suffix <= threshold {
+                continue;
+            }
+            match self.netlist.driver(frame.net) {
+                Driver::PrimaryInput => {
+                    if frame.suffix > threshold {
+                        let mut nets = frame.nets_rev.clone();
+                        nets.reverse();
+                        let mut gates = frame.gates_rev.clone();
+                        gates.reverse();
+                        result.push(TimingPath { nets, gates, delay: frame.suffix });
+                    }
+                }
+                Driver::Gate(gid) => {
+                    let g = self.netlist.gate(gid);
+                    for (pin, &inp) in g.inputs().iter().enumerate() {
+                        let mut gates_rev = frame.gates_rev.clone();
+                        gates_rev.push((gid, pin));
+                        let mut nets_rev = frame.nets_rev.clone();
+                        nets_rev.push(inp);
+                        stack.push(Frame {
+                            net: inp,
+                            suffix: frame.suffix + self.pin_delay(gid, pin),
+                            gates_rev,
+                            nets_rev,
+                        });
+                    }
+                }
+            }
+        }
+        result.sort_by(|a, b| b.delay.units().total_cmp(&a.delay.units()));
+        PathEnumeration { paths: result, truncated }
+    }
+
+    /// Count of structural paths to `output` with delay strictly above
+    /// `threshold` (exact unless it exceeds `limit`).
+    pub fn count_paths_above(&self, output: NetId, threshold: Delay, limit: usize) -> (usize, bool) {
+        let e = self.enumerate_paths(output, threshold, limit);
+        (e.paths.len(), e.truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_netlist::circuits::{comparator2, ripple_adder};
+    use tm_netlist::library::lsi10k_like;
+
+    fn comparator() -> Netlist {
+        comparator2(Arc::new(lsi10k_like()))
+    }
+
+    #[test]
+    fn comparator_delta_is_seven() {
+        let nl = comparator();
+        let sta = Sta::new(&nl);
+        assert_eq!(sta.critical_path_delay(), Delay::new(7.0));
+    }
+
+    #[test]
+    fn comparator_speed_paths() {
+        let nl = comparator();
+        let sta = Sta::new(&nl);
+        let target = Delay::new(6.3);
+        // Exactly the two 7-unit paths through the inverters (Fig. 2a).
+        let e = sta.enumerate_paths(nl.outputs()[0], target, 100);
+        assert!(!e.truncated);
+        assert_eq!(e.paths.len(), 2);
+        for p in &e.paths {
+            assert_eq!(p.delay, Delay::new(7.0));
+            // Both start at b inputs through an inverter.
+            let start = p.nets[0];
+            let name = nl.net_name(start);
+            assert!(name == "b0" || name == "b1", "unexpected start {name}");
+            assert_eq!(p.gates.len() + 1, p.nets.len());
+        }
+    }
+
+    #[test]
+    fn required_and_slack_signs() {
+        let nl = comparator();
+        let sta = Sta::new(&nl);
+        let target = Delay::new(6.3);
+        let slack = sta.slack(target);
+        // Inverter outputs nb0/nb1 lie on 7-delay paths: negative slack.
+        let nb0 = nl.find_net("nb0").unwrap();
+        assert!(slack[nb0.index()] < Delay::ZERO);
+        // a1's longest use is via t3→t4→y (6 units): slack 0.3.
+        let a1 = nl.find_net("a1").unwrap();
+        assert!(slack[a1.index()] > Delay::ZERO);
+        assert!(slack[a1.index()] < Delay::new(1.0));
+        // With a relaxed target everything is positive.
+        let relaxed = sta.slack(Delay::new(10.0));
+        assert!(relaxed.iter().all(|s| !s.is_finite() || *s >= Delay::ZERO));
+    }
+
+    #[test]
+    fn critical_gates_match_negative_slack() {
+        let nl = comparator();
+        let sta = Sta::new(&nl);
+        let crit = sta.critical_gates(Delay::new(6.3));
+        let names: Vec<&str> = nl
+            .gates()
+            .filter(|(gid, _)| crit[gid.index()])
+            .map(|(_, g)| nl.net_name(g.output()))
+            .collect();
+        assert!(names.contains(&"nb0"));
+        assert!(names.contains(&"nb1"));
+        assert!(names.contains(&"t4"));
+        assert!(names.contains(&"y"));
+        // t1 only lies on paths of ≤ 5 units: not critical.
+        assert!(!names.contains(&"t1"));
+    }
+
+    #[test]
+    fn worst_path_reconstruction() {
+        let nl = comparator();
+        let sta = Sta::new(&nl);
+        let p = sta.worst_path(nl.outputs()[0]);
+        assert_eq!(p.delay, Delay::new(7.0));
+        assert_eq!(p.nets.len(), p.gates.len() + 1);
+        // Consistency: pin delays along the path sum to the path delay.
+        let total: Delay = p.gates.iter().map(|&(g, pin)| sta.pin_delay(g, pin)).sum();
+        assert_eq!(total, p.delay);
+    }
+
+    #[test]
+    fn scaling_slows_gates() {
+        let nl = comparator();
+        let mut scale = vec![1.0; nl.num_gates()];
+        // Slow the first inverter by 50%.
+        scale[0] = 1.5;
+        let aged = Sta::with_scale(&nl, scale);
+        assert_eq!(aged.critical_path_delay(), Delay::new(7.5));
+        // Nominal unaffected.
+        assert_eq!(Sta::new(&nl).critical_path_delay(), Delay::new(7.0));
+    }
+
+    #[test]
+    fn adder_critical_path_grows_with_width() {
+        let lib = Arc::new(lsi10k_like());
+        let a4 = ripple_adder(lib.clone(), 4);
+        let a8 = ripple_adder(lib.clone(), 8);
+        let d4 = Sta::new(&a4).critical_path_delay();
+        let d8 = Sta::new(&a8).critical_path_delay();
+        assert!(d8 > d4);
+    }
+
+    #[test]
+    fn enumeration_truncates_at_limit() {
+        let lib = Arc::new(lsi10k_like());
+        let nl = ripple_adder(lib, 8);
+        let sta = Sta::new(&nl);
+        let cout = *nl.outputs().last().unwrap();
+        let e = sta.enumerate_paths(cout, Delay::ZERO, 5);
+        assert!(e.truncated);
+        assert_eq!(e.paths.len(), 5);
+    }
+
+    #[test]
+    fn enumeration_complete_without_limit() {
+        let nl = comparator();
+        let sta = Sta::new(&nl);
+        // All paths to y: a1→t1→y, b1→nb1→t1→y, a0→t2→t4→y,
+        // b0→nb0→t2→t4→y, a1→t3→t4→y, b1→nb1→t3→t4→y = 6 paths.
+        let e = sta.enumerate_paths(nl.outputs()[0], Delay::ZERO, 1000);
+        assert!(!e.truncated);
+        assert_eq!(e.paths.len(), 6);
+        // Sorted longest first.
+        assert!(e.paths.windows(2).all(|w| w[0].delay >= w[1].delay));
+    }
+
+    #[test]
+    fn critical_outputs_by_target() {
+        let nl = comparator();
+        let sta = Sta::new(&nl);
+        assert_eq!(sta.critical_outputs(Delay::new(6.3)).len(), 1);
+        assert_eq!(sta.count_paths_above(nl.outputs()[0], Delay::new(6.3), 100).0, 2);
+        assert!(sta.critical_outputs(Delay::new(7.0)).is_empty());
+    }
+}

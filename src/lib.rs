@@ -1,0 +1,45 @@
+//! `timemask` — masking timing errors on speed-paths in logic circuits.
+//!
+//! A from-scratch Rust reproduction of Choudhury & Mohanram, *"Masking
+//! timing errors on speed-paths in logic circuits"* (DATE 2009),
+//! including every substrate the paper depends on: Boolean machinery
+//! and BDDs ([`logic`]), netlists / cell library / synthesis
+//! ([`netlist`]), static timing analysis ([`sta`]), functional and
+//! event-driven timing simulation ([`sim`]), the three SPCF engines of
+//! §3 ([`spcf`]), the error-masking synthesis of §4 ([`masking`]), and
+//! the §2.1 runtime applications ([`monitor`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use timemask::masking::{synthesize, verify, MaskingOptions};
+//! use timemask::netlist::{circuits::comparator2, library::lsi10k_like};
+//!
+//! // The paper's Fig. 2 comparator, mapped on an lsi10k-like library.
+//! let circuit = comparator2(Arc::new(lsi10k_like()));
+//!
+//! // Synthesize the non-intrusive error-masking circuit.
+//! let mut result = synthesize(&circuit, MaskingOptions::default());
+//! assert!(result.design.is_protected());
+//!
+//! // 100% masking of speed-path timing errors, verified exactly.
+//! assert!(verify(&mut result).all_ok());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tm_logic as logic;
+pub use tm_masking as masking;
+pub use tm_monitor as monitor;
+pub use tm_netlist as netlist;
+pub use tm_sim as sim;
+pub use tm_spcf as spcf;
+pub use tm_sta as sta;
+
+pub use tm_masking::{synthesize, MaskingOptions, MaskingResult};
+pub use tm_netlist::Delay;

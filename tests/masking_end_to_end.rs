@@ -1,0 +1,139 @@
+//! End-to-end integration tests: the full claim of the paper exercised
+//! on real (reference) circuits and suite stand-ins — synthesis, exact
+//! verification, and dynamic error injection under aging.
+
+use std::sync::Arc;
+use timemask::masking::{
+    duplication_masking, inject_and_measure, speedpath_patterns, synthesize, uniform_aging,
+    verify, MaskingOptions,
+};
+use timemask::monitor::trace::{CapturePolicy, DebugSession};
+use timemask::monitor::wearout::{run_lifetime, LifetimeConfig, WearoutPredictor};
+use timemask::netlist::library::lsi10k_like;
+use timemask::netlist::suites::smoke_suite;
+use timemask::netlist::{circuits, Netlist};
+use timemask::sim::patterns::random_vectors;
+use timemask::sta::Sta;
+
+fn library() -> Arc<timemask::netlist::Library> {
+    Arc::new(lsi10k_like())
+}
+
+fn check_full_pipeline(nl: &Netlist) {
+    let mut result = synthesize(nl, MaskingOptions::default());
+    let verdict = verify(&mut result);
+    assert!(verdict.all_ok(), "{}: verification failed", nl.name());
+    assert_eq!(verdict.coverage(), 1.0, "{}", nl.name());
+    if !result.design.is_protected() {
+        return;
+    }
+    assert!(result.report.slack_met, "{}: slack {:.1}%", nl.name(), result.report.slack_percent);
+
+    // Dynamic check: 8% aging at the nominal clock. Uniform workload
+    // plus SPCF-drawn stress patterns so speed-paths actually fire.
+    let clock = Sta::new(nl).critical_path_delay();
+    let scale = uniform_aging(&result.design, 1.08);
+    let mut vectors = random_vectors(nl.inputs().len(), 300, 0xE2E);
+    let stress = speedpath_patterns(&result, 100, 0x57E);
+    for (k, s) in stress.into_iter().enumerate() {
+        vectors.insert((k * 3 + 1) % vectors.len(), s);
+    }
+    let outcome = inject_and_measure(&result.design, &scale, clock, &vectors);
+    assert!(outcome.raw_errors > 0, "{}: stress workload produced no raw errors", nl.name());
+    assert_eq!(outcome.masked_errors, 0, "{}: {:?}", nl.name(), outcome);
+}
+
+#[test]
+fn reference_circuits_full_pipeline() {
+    let lib = library();
+    for nl in [
+        circuits::comparator2(lib.clone()),
+        circuits::priority_encoder(lib.clone(), 8),
+        circuits::mini_alu(lib.clone(), 3),
+    ] {
+        check_full_pipeline(&nl);
+    }
+}
+
+#[test]
+fn suite_standins_full_pipeline() {
+    let lib = library();
+    for entry in smoke_suite() {
+        let nl = entry.build(lib.clone());
+        check_full_pipeline(&nl);
+    }
+}
+
+#[test]
+fn duplication_baseline_loses_where_proposed_wins() {
+    let lib = library();
+    let nl = smoke_suite()[0].build(lib);
+    let mut dup = duplication_masking(&nl, MaskingOptions::default());
+    assert!(verify(&mut dup).all_ok(), "duplication is functionally sound");
+    assert!(!dup.report.slack_met, "a copy cannot be faster than the original");
+
+    let proposed = synthesize(&nl, MaskingOptions::default());
+    assert!(proposed.report.slack_met);
+    assert!(proposed.report.slack_percent > dup.report.slack_percent);
+}
+
+#[test]
+fn wearout_monitoring_detects_aging_without_escapes() {
+    let lib = library();
+    let nl = smoke_suite()[0].build(lib);
+    let result = synthesize(&nl, MaskingOptions::default());
+    let stress_pool = speedpath_patterns(&result, 48, 9);
+    assert!(!stress_pool.is_empty());
+    let config = LifetimeConfig {
+        epochs: 6,
+        max_stress: 0.9,
+        vectors_per_epoch: 200,
+        stress_pool,
+        pool_bias: 0.4,
+        ..Default::default()
+    };
+    let stats = run_lifetime(&result.design, &config);
+    assert_eq!(stats[0].detected_errors, 0, "fresh silicon is clean");
+    assert!(stats.last().unwrap().detected_errors > 0, "aged silicon shows masked errors");
+    assert!(stats.iter().all(|s| s.escapes == 0), "no error may escape: {stats:?}");
+    let a = WearoutPredictor::default().assess(&stats);
+    assert!(a.onset_epoch.is_some());
+}
+
+#[test]
+fn selective_trace_capture_expands_window() {
+    let lib = library();
+    let nl = smoke_suite()[0].build(lib);
+    let result = synthesize(&nl, MaskingOptions::default());
+    let session = DebugSession::new(&result.design);
+    let scale = uniform_aging(&result.design, 1.0);
+    let vectors = random_vectors(nl.inputs().len(), 800, 31);
+    let always = session.run(&scale, &vectors, 24, CapturePolicy::Always);
+    let selective = session.run(&scale, &vectors, 24, CapturePolicy::OnSpeedPath);
+    assert_eq!(always.window, 24);
+    assert!(selective.window >= always.window);
+}
+
+#[test]
+fn bench_format_circuit_full_pipeline() {
+    // Parse an ISCAS-style .bench description and run it through the
+    // whole flow — what a user with real benchmark files would do.
+    let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\nOUTPUT(z)\n\
+n1 = NAND(a, b)\nn2 = NAND(n1, c)\nn3 = NAND(n2, d)\nn4 = NAND(n3, e)\n\
+n5 = NAND(n4, a)\ny = OR(n5, b)\nz = AND(a, c)\n";
+    let nl = timemask::netlist::bench_format::parse_bench(src, library()).expect("valid bench");
+    let mut result = synthesize(&nl, MaskingOptions::default());
+    let verdict = verify(&mut result);
+    assert!(verdict.all_ok());
+    assert!(result.design.is_protected());
+    // Export round trips.
+    let v = timemask::netlist::verilog::write_verilog(&result.design.combined);
+    assert!(v.contains("module"));
+    let b = timemask::netlist::bench_format::write_bench(&nl).expect("bench-expressible");
+    let back = timemask::netlist::bench_format::parse_bench(&b, library()).expect("roundtrip");
+    for m in 0..32u64 {
+        let bits: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+        assert_eq!(nl.eval(&bits), back.eval(&bits));
+    }
+}
