@@ -1,54 +1,43 @@
-//! Criterion benchmarks for the design-choice ablations (cube
-//! selection, extraction bound, duplication baseline).
+//! Benchmarks for the design-choice ablations (cube selection,
+//! extraction bound, duplication baseline), on the in-repo
+//! `tm-testkit` harness (JSON report in `target/tm-bench/`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tm_bench::harness_library;
 use tm_masking::{duplication_masking, synthesize, CubeSelection, MaskingOptions};
 use tm_netlist::extract::ExtractOptions;
 use tm_netlist::suites::smoke_suite;
+use tm_testkit::bench::BenchGroup;
 
-fn bench_cube_selection(c: &mut Criterion) {
+fn main() {
     let lib = harness_library();
-    let nl = smoke_suite()[0].build(lib);
-    let mut group = c.benchmark_group("ablation_cube_selection");
+
+    let nl = smoke_suite()[0].build(lib.clone());
+    let mut group = BenchGroup::new("ablation_cube_selection");
     group.sample_size(10);
-    group.bench_function("essential_weight", |b| {
-        b.iter(|| black_box(synthesize(&nl, MaskingOptions::default()).design.masking.area()))
+    group.bench("essential_weight", || {
+        black_box(synthesize(&nl, MaskingOptions::default()).design.masking.area())
     });
-    group.bench_function("full_cover", |b| {
-        b.iter(|| {
-            let opts =
-                MaskingOptions { cube_selection: CubeSelection::FullCover, ..Default::default() };
-            black_box(synthesize(&nl, opts).design.masking.area())
-        })
+    group.bench("full_cover", || {
+        let opts = MaskingOptions { cube_selection: CubeSelection::FullCover, ..Default::default() };
+        black_box(synthesize(&nl, opts).design.masking.area())
     });
-    group.bench_function("duplication_baseline", |b| {
-        b.iter(|| {
-            black_box(duplication_masking(&nl, MaskingOptions::default()).design.masking.area())
-        })
+    group.bench("duplication_baseline", || {
+        black_box(duplication_masking(&nl, MaskingOptions::default()).design.masking.area())
     });
     group.finish();
-}
 
-fn bench_extraction_bound(c: &mut Criterion) {
-    let lib = harness_library();
     let nl = smoke_suite()[3].build(lib);
-    let mut group = c.benchmark_group("ablation_extraction_bound");
+    let mut group = BenchGroup::new("ablation_extraction_bound");
     group.sample_size(10);
     for k in [4usize, 8, 12, 16] {
-        group.bench_with_input(BenchmarkId::new("max_support", k), &k, |b, &k| {
-            b.iter(|| {
-                let opts = MaskingOptions {
-                    extract: ExtractOptions { max_support: k },
-                    ..Default::default()
-                };
-                black_box(synthesize(&nl, opts).design.masking.area())
-            })
+        group.bench(&format!("max_support/{k}"), || {
+            let opts = MaskingOptions {
+                extract: ExtractOptions { max_support: k },
+                ..Default::default()
+            };
+            black_box(synthesize(&nl, opts).design.masking.area())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_cube_selection, bench_extraction_bound);
-criterion_main!(benches);

@@ -1,38 +1,32 @@
-//! Criterion benchmarks for the end-to-end masking synthesis flow
-//! (Table 2 kernel) and its exact verification.
+//! Benchmarks for the end-to-end masking synthesis flow (Table 2
+//! kernel) and its exact verification, on the in-repo `tm-testkit`
+//! harness (JSON report in `target/tm-bench/`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tm_bench::harness_library;
 use tm_masking::{synthesize, verify, MaskingOptions};
 use tm_netlist::suites::smoke_suite;
+use tm_testkit::bench::BenchGroup;
 
-fn bench_synthesis(c: &mut Criterion) {
+fn main() {
     let lib = harness_library();
-    let mut group = c.benchmark_group("masking_synthesis");
+
+    let mut group = BenchGroup::new("masking_synthesis");
     group.sample_size(10);
     for entry in smoke_suite() {
         let nl = entry.build(lib.clone());
-        group.bench_with_input(BenchmarkId::new("synthesize", entry.name), &nl, |b, nl| {
-            b.iter(|| black_box(synthesize(nl, MaskingOptions::default()).report.critical_outputs))
+        group.bench(&format!("synthesize/{}", entry.name), || {
+            black_box(synthesize(&nl, MaskingOptions::default()).report.critical_outputs)
         });
     }
     group.finish();
-}
 
-fn bench_verification(c: &mut Criterion) {
-    let lib = harness_library();
-    let mut group = c.benchmark_group("masking_verification");
+    let mut group = BenchGroup::new("masking_verification");
     group.sample_size(10);
     let nl = smoke_suite()[0].build(lib);
-    group.bench_function("verify_i1", |b| {
-        b.iter(|| {
-            let mut result = synthesize(&nl, MaskingOptions::default());
-            black_box(verify(&mut result).all_ok())
-        })
+    group.bench("verify_i1", || {
+        let mut result = synthesize(&nl, MaskingOptions::default());
+        black_box(verify(&mut result).all_ok())
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_synthesis, bench_verification);
-criterion_main!(benches);

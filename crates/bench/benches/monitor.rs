@@ -1,7 +1,7 @@
-//! Criterion benchmarks for the §2.1 runtime applications: wearout
-//! epoch simulation and trace-buffer debug sessions.
+//! Benchmarks for the §2.1 runtime applications — wearout epoch
+//! simulation and trace-buffer debug sessions — on the in-repo
+//! `tm-testkit` harness (JSON report in `target/tm-bench/`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tm_bench::harness_library;
 use tm_masking::{synthesize, uniform_aging, MaskingOptions};
@@ -9,40 +9,36 @@ use tm_monitor::trace::{CapturePolicy, DebugSession};
 use tm_monitor::wearout::{run_lifetime, LifetimeConfig};
 use tm_netlist::suites::smoke_suite;
 use tm_sim::patterns::random_vectors;
+use tm_testkit::bench::BenchGroup;
 
-fn bench_monitor(c: &mut Criterion) {
+fn main() {
     let lib = harness_library();
     let nl = smoke_suite()[0].build(lib);
     let design = synthesize(&nl, MaskingOptions::default()).design;
 
-    let mut group = c.benchmark_group("monitor");
+    let mut group = BenchGroup::new("monitor");
     group.sample_size(10);
 
-    group.bench_function("wearout_lifetime_4_epochs", |b| {
-        let config = LifetimeConfig {
-            epochs: 4,
-            max_stress: 0.9,
-            vectors_per_epoch: 100,
-            ..Default::default()
-        };
-        b.iter(|| black_box(run_lifetime(&design, &config).len()))
+    let config = LifetimeConfig {
+        epochs: 4,
+        max_stress: 0.9,
+        vectors_per_epoch: 100,
+        ..Default::default()
+    };
+    group.bench("wearout_lifetime_4_epochs", || {
+        black_box(run_lifetime(&design, &config).len())
     });
 
-    group.bench_function("trace_session_selective", |b| {
-        let session = DebugSession::new(&design);
-        let scale = uniform_aging(&design, 1.0);
-        let vectors = random_vectors(nl.inputs().len(), 500, 3);
-        b.iter(|| {
-            black_box(
-                session
-                    .run(&scale, &vectors, 32, CapturePolicy::OnSpeedPath)
-                    .window,
-            )
-        })
+    let session = DebugSession::new(&design);
+    let scale = uniform_aging(&design, 1.0);
+    let vectors = random_vectors(nl.inputs().len(), 500, 3);
+    group.bench("trace_session_selective", || {
+        black_box(
+            session
+                .run(&scale, &vectors, 32, CapturePolicy::OnSpeedPath)
+                .window,
+        )
     });
 
     group.finish();
 }
-
-criterion_group!(benches, bench_monitor);
-criterion_main!(benches);

@@ -1,42 +1,34 @@
-//! Criterion benchmarks for the three SPCF engines (Table 1 kernels).
+//! Benchmarks for the three SPCF engines (Table 1 kernels), on the
+//! in-repo `tm-testkit` harness (JSON report in `target/tm-bench/`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tm_bench::harness_library;
 use tm_logic::Bdd;
 use tm_netlist::suites::table1_suite;
 use tm_spcf::{node_based_spcf, path_based_spcf, short_path_spcf};
 use tm_sta::Sta;
+use tm_testkit::bench::BenchGroup;
 
-fn bench_spcf(c: &mut Criterion) {
+fn main() {
     let lib = harness_library();
-    let mut group = c.benchmark_group("spcf_algorithms");
+    let mut group = BenchGroup::new("spcf_algorithms");
     group.sample_size(10);
     for entry in table1_suite().iter().take(3) {
         let nl = entry.build(lib.clone());
         let sta = Sta::new(&nl);
         let target = sta.critical_path_delay() * 0.9;
-        group.bench_with_input(BenchmarkId::new("node_based", entry.name), &nl, |b, nl| {
-            b.iter(|| {
-                let mut bdd = Bdd::new(nl.inputs().len());
-                black_box(node_based_spcf(nl, &sta, &mut bdd, target).outputs.len())
-            })
+        group.bench(&format!("node_based/{}", entry.name), || {
+            let mut bdd = Bdd::new(nl.inputs().len());
+            black_box(node_based_spcf(&nl, &sta, &mut bdd, target).outputs.len())
         });
-        group.bench_with_input(BenchmarkId::new("path_based", entry.name), &nl, |b, nl| {
-            b.iter(|| {
-                let mut bdd = Bdd::new(nl.inputs().len());
-                black_box(path_based_spcf(nl, &sta, &mut bdd, target).outputs.len())
-            })
+        group.bench(&format!("path_based/{}", entry.name), || {
+            let mut bdd = Bdd::new(nl.inputs().len());
+            black_box(path_based_spcf(&nl, &sta, &mut bdd, target).outputs.len())
         });
-        group.bench_with_input(BenchmarkId::new("short_path", entry.name), &nl, |b, nl| {
-            b.iter(|| {
-                let mut bdd = Bdd::new(nl.inputs().len());
-                black_box(short_path_spcf(nl, &sta, &mut bdd, target).outputs.len())
-            })
+        group.bench(&format!("short_path/{}", entry.name), || {
+            let mut bdd = Bdd::new(nl.inputs().len());
+            black_box(short_path_spcf(&nl, &sta, &mut bdd, target).outputs.len())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_spcf);
-criterion_main!(benches);

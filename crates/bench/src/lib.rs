@@ -8,9 +8,9 @@
 //! | §4 design-choice ablations | `cargo run -p tm-bench --release --bin ablations` |
 //! | §6 future work + §2 baselines | `cargo run -p tm-bench --release --bin extensions` |
 //! | protection-band sweep | `cargo run -p tm-bench --release --bin sweep` |
-//! | §2.1 wearout & debug | `examples/wearout.rs`, `examples/silicon_debug.rs`, criterion bench `monitor` |
+//! | §2.1 wearout & debug | `examples/wearout.rs`, `examples/silicon_debug.rs`, `cargo bench` group `monitor` |
 //!
-//! Criterion micro-benchmarks (`cargo bench -p tm-bench`) time the same
+//! Micro-benchmarks (`cargo bench -p tm-bench`, tm-testkit harness) time the same
 //! kernels statistically. Every workload is deterministic: the suite
 //! circuits are seeded stand-ins for the paper's benchmarks (see
 //! `DESIGN.md` §3).

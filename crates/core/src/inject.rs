@@ -143,9 +143,8 @@ pub fn speedpath_patterns(
     count: usize,
     seed: u64,
 ) -> Vec<Vec<bool>> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use tm_testkit::rng::Rng;
+    let mut rng = Rng::seed_from_u64(seed);
     let zero = result.bdd.zero();
     let spcfs: Vec<_> = result
         .spcf
@@ -160,7 +159,7 @@ pub fn speedpath_patterns(
     (0..count)
         .filter_map(|k| {
             let f = spcfs[k % spcfs.len()];
-            result.bdd.sample_sat(f, || rng.gen::<f64>())
+            result.bdd.sample_sat(f, || rng.next_f64())
         })
         .collect()
 }

@@ -1,0 +1,162 @@
+//! End-to-end coverage of the masking synthesis flow: randomized
+//! netlists must synthesize, verify exactly (BDD-based, through
+//! `verify`), and stay functionally transparent pattern-by-pattern;
+//! plus directed circuits hitting the cube-selection edge cases
+//! (tautological node functions with an empty off-set, and
+//! single-cube SOPs).
+//!
+//! Runs on the in-repo `tm-testkit` property runner; a failing case
+//! prints its seed (reproduce with `TM_PROP_SEED=<seed>`).
+
+use std::sync::Arc;
+use tm_masking::{synthesize, verify, CubeSelection, MaskingOptions};
+use tm_netlist::generate::{generate, GeneratorSpec};
+use tm_netlist::library::lsi10k_like;
+use tm_netlist::{Library, Netlist};
+use tm_testkit::prop::{check, Config, Gen};
+use tm_testkit::{prop_assert, prop_assert_eq};
+
+fn lib() -> Arc<Library> {
+    Arc::new(lsi10k_like())
+}
+
+/// Exhaustive functional-transparency check: the combined design
+/// computes the original function on every input pattern.
+fn assert_transparent(original: &Netlist, combined: &Netlist) -> Result<(), String> {
+    let n = original.inputs().len();
+    let mut assignment = vec![false; n];
+    for m in 0..(1u64 << n) {
+        for (i, a) in assignment.iter_mut().enumerate() {
+            *a = (m >> i) & 1 == 1;
+        }
+        prop_assert_eq!(
+            combined.eval(&assignment),
+            original.eval(&assignment),
+            "combined design diverges from the original on pattern {m:#b}"
+        );
+    }
+    Ok(())
+}
+
+/// Randomized netlists, both cube-selection strategies: synthesis
+/// must verify exactly and the combined design must be functionally
+/// equivalent to the original on every input pattern.
+#[test]
+fn random_netlists_mask_and_verify() {
+    check(
+        "random_netlists_mask_and_verify",
+        &Config::with_cases(20),
+        |g: &mut Gen| {
+            let inputs = g.gen_range(5usize..9);
+            let outputs = g.gen_range(2usize..5);
+            let gates = g.gen_range(15usize..40);
+            let seed = g.gen_range(0u64..1_000_000);
+            let essential = g.next_bool();
+            let mut spec =
+                GeneratorSpec::sized(format!("mask_e2e_{seed}"), inputs, outputs, gates);
+            spec.seed = seed;
+            (generate(&spec, lib()), essential)
+        },
+        |(nl, essential)| {
+            let opts = MaskingOptions {
+                cube_selection: if *essential {
+                    CubeSelection::EssentialWeight
+                } else {
+                    CubeSelection::FullCover
+                },
+                ..Default::default()
+            };
+            let mut result = synthesize(nl, opts);
+            let verdict = verify(&mut result);
+            prop_assert!(verdict.all_ok(), "verification failed: {verdict:?}");
+            prop_assert_eq!(verdict.coverage(), 1.0, "SPCF not fully covered");
+            assert_transparent(nl, &result.design.combined)
+        },
+    );
+}
+
+/// Tautological node functions (empty off-set): an inverter chain's
+/// extracted node partitions its whole local space, so the indicator
+/// `e = n⁰ ⊕ n¹` is constant 1 and gets skipped; the AND-tree then
+/// degenerates to a constant-one node. Both cube-selection strategies
+/// must handle the empty off-set cover and still verify.
+#[test]
+fn tautological_indicator_empty_off_set() {
+    let library = lib();
+    let mut nl = Netlist::new("inv_chain", library.clone());
+    let a = nl.add_input("a");
+    let mut prev = a;
+    for i in 0..5 {
+        prev = nl.add_gate(library.expect("INV"), &[prev], format!("n{i}"));
+    }
+    nl.mark_output(prev);
+
+    for selection in [CubeSelection::EssentialWeight, CubeSelection::FullCover] {
+        let opts = MaskingOptions { cube_selection: selection, ..Default::default() };
+        let mut result = synthesize(&nl, opts);
+        assert_eq!(result.design.protected.len(), 1, "{selection:?}: chain output protected");
+        let verdict = verify(&mut result);
+        assert!(verdict.all_ok(), "{selection:?}: {verdict:?}");
+        assert_eq!(verdict.coverage(), 1.0, "{selection:?}");
+        assert_transparent(&nl, &result.design.combined).unwrap();
+    }
+}
+
+/// A constant-true node inside the cone (OR of a literal and its
+/// negation): its off-set cover is literally empty. Synthesis must
+/// neither panic in essential-weight selection (the off care set is
+/// empty too) nor lose transparency.
+#[test]
+fn constant_node_empty_off_cover() {
+    let library = lib();
+    let mut nl = Netlist::new("tautology", library.clone());
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let na = nl.add_gate(library.expect("INV"), &[a], "na");
+    let t = nl.add_gate(library.expect("OR2"), &[a, na], "t"); // constant 1
+    let y = nl.add_gate(library.expect("AND2"), &[t, b], "y"); // y = b, slow path through t
+    nl.mark_output(y);
+
+    for selection in [CubeSelection::EssentialWeight, CubeSelection::FullCover] {
+        let opts = MaskingOptions { cube_selection: selection, ..Default::default() };
+        let mut result = synthesize(&nl, opts);
+        let verdict = verify(&mut result);
+        assert!(verdict.all_ok(), "{selection:?}: {verdict:?}");
+        assert_transparent(&nl, &result.design.combined).unwrap();
+    }
+}
+
+/// Single-cube SOPs: a balanced AND tree where every node's on-set
+/// cover is one cube. Essential-weight selection must keep exactly
+/// that cube (nothing to drop), match full-cover area, and verify.
+#[test]
+fn single_cube_sop_and_tree() {
+    let library = lib();
+    let mut nl = Netlist::new("and_tree", library.clone());
+    let ins: Vec<_> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+    let l = nl.add_gate(library.expect("AND2"), &[ins[0], ins[1]], "l");
+    let r = nl.add_gate(library.expect("AND2"), &[ins[2], ins[3]], "r");
+    let y = nl.add_gate(library.expect("AND2"), &[l, r], "y");
+    nl.mark_output(y);
+
+    let mut essential = synthesize(
+        &nl,
+        MaskingOptions { cube_selection: CubeSelection::EssentialWeight, ..Default::default() },
+    );
+    let mut full = synthesize(
+        &nl,
+        MaskingOptions { cube_selection: CubeSelection::FullCover, ..Default::default() },
+    );
+    for (name, result) in [("essential", &mut essential), ("full", &mut full)] {
+        let verdict = verify(result);
+        assert!(verdict.all_ok(), "{name}: {verdict:?}");
+        assert_transparent(&nl, &result.design.combined).unwrap();
+    }
+    // Single-cube covers leave essential-weight selection nothing to
+    // drop: both strategies build the same masking hardware.
+    assert_eq!(
+        essential.design.masking.area(),
+        full.design.masking.area(),
+        "essential-weight should not change single-cube covers"
+    );
+}

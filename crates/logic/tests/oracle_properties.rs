@@ -1,15 +1,25 @@
 //! Property tests cross-checking the three Boolean representations
 //! (truth tables, SOPs/cubes, BDDs) against each other: each serves as
 //! an oracle for the others.
+//!
+//! Runs on the in-repo `tm-testkit` property runner; a failing case
+//! prints its seed (reproduce with `TM_PROP_SEED=<seed>`).
 
-use proptest::prelude::*;
 use tm_logic::bdd::{Bdd, BddRef};
 use tm_logic::{qm, Cube, TruthTable};
+use tm_testkit::prop::{check, Config, Gen};
+use tm_testkit::{prop_assert, prop_assert_eq};
 
-/// A random truth table over `n` variables (as raw words).
-fn tt_strategy(n: usize) -> impl Strategy<Value = TruthTable> {
-    prop::collection::vec(any::<u64>(), 1 << n.saturating_sub(6))
-        .prop_map(move |words| TruthTable::from_fn(n, |m| (words[(m >> 6) as usize] >> (m & 63)) & 1 == 1))
+fn cfg(cases: u32) -> Config {
+    Config::with_cases(cases)
+}
+
+/// A random truth table over `n ≤ 6` variables, shrinkable word by
+/// word toward the zero function.
+fn gen_tt(g: &mut Gen, n: usize) -> TruthTable {
+    let bits = 1u32 << n;
+    let words = g.bitvec(1usize << n.saturating_sub(6), bits.min(64));
+    TruthTable::from_fn(n, |m| (words[(m >> 6) as usize] >> (m & 63)) & 1 == 1)
 }
 
 /// Builds the BDD of a truth table by Shannon expansion over minterms.
@@ -24,15 +34,13 @@ fn bdd_of_tt(bdd: &mut Bdd, tt: &TruthTable) -> BddRef {
     bdd.or_all(terms)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// BDD operations agree with truth-table operations pointwise.
-    #[test]
-    fn bdd_ops_match_tt_ops(a in tt_strategy(5), b in tt_strategy(5)) {
+/// BDD operations agree with truth-table operations pointwise.
+#[test]
+fn bdd_ops_match_tt_ops() {
+    check("bdd_ops_match_tt_ops", &cfg(48), |g| (gen_tt(g, 5), gen_tt(g, 5)), |(a, b)| {
         let mut bdd = Bdd::new(5);
-        let fa = bdd_of_tt(&mut bdd, &a);
-        let fb = bdd_of_tt(&mut bdd, &b);
+        let fa = bdd_of_tt(&mut bdd, a);
+        let fb = bdd_of_tt(&mut bdd, b);
         let and = bdd.and(fa, fb);
         let or = bdd.or(fa, fb);
         let xor = bdd.xor(fa, fb);
@@ -47,23 +55,29 @@ proptest! {
             prop_assert_eq!(bdd.eval(na, &assignment), !va);
             prop_assert_eq!(bdd.eval(imp, &assignment), !va || vb);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Satisfy counts computed on the BDD equal the truth table's ones
-    /// count.
-    #[test]
-    fn sat_count_matches_tt(a in tt_strategy(6)) {
+/// Satisfy counts computed on the BDD equal the truth table's ones
+/// count.
+#[test]
+fn sat_count_matches_tt() {
+    check("sat_count_matches_tt", &cfg(48), |g| gen_tt(g, 6), |a| {
         let mut bdd = Bdd::new(6);
-        let f = bdd_of_tt(&mut bdd, &a);
+        let f = bdd_of_tt(&mut bdd, a);
         prop_assert_eq!(bdd.sat_count(f), a.count_ones() as f64);
-    }
+        Ok(())
+    });
+}
 
-    /// Canonicity: equal functions get equal refs regardless of the
-    /// construction route (minterm order reversed).
-    #[test]
-    fn bdd_canonical(a in tt_strategy(5)) {
+/// Canonicity: equal functions get equal refs regardless of the
+/// construction route (minterm order reversed).
+#[test]
+fn bdd_canonical() {
+    check("bdd_canonical", &cfg(48), |g| gen_tt(g, 5), |a| {
         let mut bdd = Bdd::new(5);
-        let forward = bdd_of_tt(&mut bdd, &a);
+        let forward = bdd_of_tt(&mut bdd, a);
         let mut terms = Vec::new();
         let minterms: Vec<u64> = a.minterms().collect();
         for &m in minterms.iter().rev() {
@@ -72,31 +86,42 @@ proptest! {
         }
         let backward = bdd.or_all(terms);
         prop_assert_eq!(forward, backward);
-    }
+        Ok(())
+    });
+}
 
-    /// Exists-quantification matches the truth-table cofactor OR.
-    #[test]
-    fn exists_matches_cofactors(a in tt_strategy(5), var in 0usize..5) {
-        let mut bdd = Bdd::new(5);
-        let f = bdd_of_tt(&mut bdd, &a);
-        let e = bdd.exists(f, &[var]);
-        let expect = &a.cofactor(var, false) | &a.cofactor(var, true);
-        for m in 0..32u64 {
-            let assignment: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
-            prop_assert_eq!(bdd.eval(e, &assignment), expect.eval(m));
-        }
-    }
+/// Exists-quantification matches the truth-table cofactor OR.
+#[test]
+fn exists_matches_cofactors() {
+    check(
+        "exists_matches_cofactors",
+        &cfg(48),
+        |g| (gen_tt(g, 5), g.gen_range(0usize..5)),
+        |(a, var)| {
+            let mut bdd = Bdd::new(5);
+            let f = bdd_of_tt(&mut bdd, a);
+            let e = bdd.exists(f, &[*var]);
+            let expect = &a.cofactor(*var, false) | &a.cofactor(*var, true);
+            for m in 0..32u64 {
+                let assignment: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+                prop_assert_eq!(bdd.eval(e, &assignment), expect.eval(m));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Quine–McCluskey minimization is exact: the cover equals the
-    /// function, every cube is a maximal implicant.
-    #[test]
-    fn qm_minimize_is_exact(a in tt_strategy(5)) {
+/// Quine–McCluskey minimization is exact: the cover equals the
+/// function, every cube is a maximal implicant.
+#[test]
+fn qm_minimize_is_exact() {
+    check("qm_minimize_is_exact", &cfg(48), |g| gen_tt(g, 5), |a| {
         let dc = TruthTable::zero(5);
-        let sop = qm::minimize(&a, &dc);
+        let sop = qm::minimize(a, &dc);
         for m in 0..32u64 {
             prop_assert_eq!(sop.eval(m), a.eval(m), "cover differs at {}", m);
         }
-        let primes = qm::prime_implicants(&a, &dc);
+        let primes = qm::prime_implicants(a, &dc);
         for p in &primes {
             prop_assert!(a.covers_cube(p));
             for (var, _) in p.literals() {
@@ -108,77 +133,115 @@ proptest! {
         for c in sop.cubes() {
             prop_assert!(primes.contains(c));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// With don't-cares, the minimized cover stays inside on ∪ dc and
-    /// covers all of on.
-    #[test]
-    fn qm_respects_dont_cares(on_raw in tt_strategy(5), dc_raw in tt_strategy(5)) {
-        let dc = &dc_raw & &!&on_raw; // disjoint dc
-        let sop = qm::minimize(&on_raw, &dc);
-        for m in 0..32u64 {
-            if on_raw.eval(m) {
-                prop_assert!(sop.eval(m));
-            } else if !dc.eval(m) {
-                prop_assert!(!sop.eval(m));
+/// With don't-cares, the minimized cover stays inside on ∪ dc and
+/// covers all of on.
+#[test]
+fn qm_respects_dont_cares() {
+    check(
+        "qm_respects_dont_cares",
+        &cfg(48),
+        |g| (gen_tt(g, 5), gen_tt(g, 5)),
+        |(on_raw, dc_raw)| {
+            let dc = dc_raw & &!on_raw; // disjoint dc
+            let sop = qm::minimize(on_raw, &dc);
+            for m in 0..32u64 {
+                if on_raw.eval(m) {
+                    prop_assert!(sop.eval(m));
+                } else if !dc.eval(m) {
+                    prop_assert!(!sop.eval(m));
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// SOP and/or agree with truth-table and/or.
-    #[test]
-    fn sop_algebra(a in tt_strategy(4), b in tt_strategy(4)) {
+/// SOP and/or agree with truth-table and/or.
+#[test]
+fn sop_algebra() {
+    check("sop_algebra", &cfg(48), |g| (gen_tt(g, 4), gen_tt(g, 4)), |(a, b)| {
         let z = TruthTable::zero(4);
-        let sa = qm::minimize(&a, &z);
-        let sb = qm::minimize(&b, &z);
+        let sa = qm::minimize(a, &z);
+        let sb = qm::minimize(b, &z);
         let and = sa.and(&sb);
         let or = sa.or(&sb);
         for m in 0..16u64 {
             prop_assert_eq!(and.eval(m), a.eval(m) && b.eval(m));
             prop_assert_eq!(or.eval(m), a.eval(m) || b.eval(m));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Sampling satisfying assignments always yields models.
-    #[test]
-    fn sample_sat_yields_models(a in tt_strategy(5), seed in 0u64..1000) {
-        let mut bdd = Bdd::new(5);
-        let f = bdd_of_tt(&mut bdd, &a);
-        let mut state = seed as f64 / 1000.0 + 0.123;
-        let sample = bdd.sample_sat(f, || {
-            state = (state * 9301.0 + 49297.0) % 233280.0 / 233280.0;
-            state
-        });
-        match sample {
-            Some(s) => prop_assert!(bdd.eval(f, &s)),
-            None => prop_assert!(a.is_zero()),
-        }
-    }
-
-    /// Cube containment and intersection agree with minterm semantics.
-    #[test]
-    fn cube_set_semantics(mask_a in 0u64..16, val_a in 0u64..16, mask_b in 0u64..16, val_b in 0u64..16) {
-        let a = Cube::from_masks(mask_a, val_a);
-        let b = Cube::from_masks(mask_b, val_b);
-        let a_set: Vec<u64> = (0..16).filter(|&m| a.eval(m)).collect();
-        let b_set: Vec<u64> = (0..16).filter(|&m| b.eval(m)).collect();
-        prop_assert_eq!(a.contains(&b), b_set.iter().all(|m| a_set.contains(m)));
-        prop_assert_eq!(a.intersects(&b), a_set.iter().any(|m| b_set.contains(m)));
-        if let Some(i) = a.intersect(&b) {
-            for m in 0..16u64 {
-                prop_assert_eq!(i.eval(m), a.eval(m) && b.eval(m));
+/// Sampling satisfying assignments always yields models.
+#[test]
+fn sample_sat_yields_models() {
+    check(
+        "sample_sat_yields_models",
+        &cfg(48),
+        |g| (gen_tt(g, 5), g.gen_range(0u64..1000)),
+        |(a, seed)| {
+            let mut bdd = Bdd::new(5);
+            let f = bdd_of_tt(&mut bdd, a);
+            let mut state = *seed as f64 / 1000.0 + 0.123;
+            let sample = bdd.sample_sat(f, || {
+                state = (state * 9301.0 + 49297.0) % 233280.0 / 233280.0;
+                state
+            });
+            match sample {
+                Some(s) => prop_assert!(bdd.eval(f, &s)),
+                None => prop_assert!(a.is_zero()),
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Sop::from_cubes/TruthTable::from_sop round-trip through
-    /// minimization.
-    #[test]
-    fn sop_tt_roundtrip(a in tt_strategy(5)) {
-        let sop = qm::minimize(&a, &TruthTable::zero(5));
+/// Cube containment and intersection agree with minterm semantics.
+#[test]
+fn cube_set_semantics() {
+    check(
+        "cube_set_semantics",
+        &cfg(64),
+        |g| {
+            (
+                g.gen_range(0u64..16),
+                g.gen_range(0u64..16),
+                g.gen_range(0u64..16),
+                g.gen_range(0u64..16),
+            )
+        },
+        |&(mask_a, val_a, mask_b, val_b)| {
+            let a = Cube::from_masks(mask_a, val_a);
+            let b = Cube::from_masks(mask_b, val_b);
+            let a_set: Vec<u64> = (0..16).filter(|&m| a.eval(m)).collect();
+            let b_set: Vec<u64> = (0..16).filter(|&m| b.eval(m)).collect();
+            prop_assert_eq!(a.contains(&b), b_set.iter().all(|m| a_set.contains(m)));
+            prop_assert_eq!(a.intersects(&b), a_set.iter().any(|m| b_set.contains(m)));
+            if let Some(i) = a.intersect(&b) {
+                for m in 0..16u64 {
+                    prop_assert_eq!(i.eval(m), a.eval(m) && b.eval(m));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Sop::from_cubes/TruthTable::from_sop round-trip through
+/// minimization.
+#[test]
+fn sop_tt_roundtrip() {
+    check("sop_tt_roundtrip", &cfg(48), |g| gen_tt(g, 5), |a| {
+        let sop = qm::minimize(a, &TruthTable::zero(5));
         let back = TruthTable::from_sop(5, &sop);
-        prop_assert_eq!(back, a);
-    }
+        prop_assert_eq!(&back, a);
+        Ok(())
+    });
 }
 
 /// Deterministic regression: sorted-by-literal-count ordering is what

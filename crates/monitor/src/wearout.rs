@@ -143,9 +143,8 @@ pub fn run_lifetime(design: &MaskedDesign, config: &LifetimeConfig) -> Vec<Epoch
             epoch_seed,
         );
         if !config.stress_pool.is_empty() && config.pool_bias > 0.0 {
-            use rand::rngs::StdRng;
-            use rand::{Rng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(epoch_seed ^ 0xB1A5);
+            use tm_testkit::rng::Rng;
+            let mut rng = Rng::seed_from_u64(epoch_seed ^ 0xB1A5);
             for v in vectors.iter_mut() {
                 if rng.gen_bool(config.pool_bias.clamp(0.0, 1.0)) {
                     *v = config.stress_pool[rng.gen_range(0..config.stress_pool.len())].clone();

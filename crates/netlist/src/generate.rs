@@ -25,8 +25,7 @@
 use crate::library::Library;
 use crate::netlist::Netlist;
 use crate::types::NetId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_testkit::rng::Rng;
 use std::sync::Arc;
 
 /// Parameters for [`generate`].
@@ -111,7 +110,7 @@ pub fn generate(spec: &GeneratorSpec, library: Arc<Library>) -> Netlist {
         "gate budget smaller than output count"
     );
     let lib = library.clone();
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut nl = Netlist::new(spec.name.clone(), library);
 
     let mut avail: Vec<Avail> = Vec::new();
@@ -147,7 +146,7 @@ pub fn generate(spec: &GeneratorSpec, library: Arc<Library>) -> Netlist {
     let window = spec.locality.max(2) as f64;
     let span = spec.num_inputs as f64;
 
-    let pick_fanin = |rng: &mut StdRng, avail: &[Avail], center: f64, level: usize| -> Avail {
+    let pick_fanin = |rng: &mut Rng, avail: &[Avail], center: f64, level: usize| -> Avail {
         // Prefer the previous level; fall back to anything below.
         for _ in 0..40 {
             let cand = &avail[rng.gen_range(0..avail.len())];
@@ -272,7 +271,7 @@ pub fn generate(spec: &GeneratorSpec, library: Arc<Library>) -> Netlist {
     // 0, i.e. the input to be 1 — never contradictory with the trunk
     // sensitization conditions, keeping every chain's SPCF nonempty.
     let mut peer_counter = 0usize;
-    let mut pick_peer = |nl: &mut Netlist, rng: &mut StdRng| -> NetId {
+    let mut pick_peer = |nl: &mut Netlist, rng: &mut Rng| -> NetId {
         let src = nl.inputs()[rng.gen_range(0..spec.num_inputs)];
         peer_counter += 1;
         nl.add_gate(lib.expect("INV"), &[src], format!("peer{peer_counter}"))

@@ -9,8 +9,7 @@
 //! worst NBTI/HCI stress), and optional per-gate jitter models process
 //! variation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_testkit::rng::Rng;
 use tm_netlist::Netlist;
 
 /// A delay-degradation model.
@@ -54,7 +53,7 @@ impl AgingModel {
     pub fn scale_factors(&self, netlist: &Netlist, stressed: &[bool], stress: f64) -> Vec<f64> {
         assert_eq!(stressed.len(), netlist.num_gates(), "one stress flag per gate");
         assert!((0.0..=2.0).contains(&stress), "stress must be in [0, 2]");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         (0..netlist.num_gates())
             .map(|g| {
                 let jitter = if self.jitter > 0.0 {

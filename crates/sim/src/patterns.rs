@@ -1,8 +1,7 @@
 //! Pattern sources for simulation workloads.
 
 use crate::func::PatternBlock;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_testkit::rng::Rng;
 
 /// A uniformly random pattern block of `count` patterns over
 /// `num_inputs` inputs.
@@ -10,18 +9,18 @@ use rand::{Rng, SeedableRng};
 /// # Panics
 ///
 /// Panics if `count` is 0 or exceeds 64.
-pub fn random_block(num_inputs: usize, count: usize, rng: &mut StdRng) -> PatternBlock {
+pub fn random_block(num_inputs: usize, count: usize, rng: &mut Rng) -> PatternBlock {
     assert!((1..=64).contains(&count), "block size must be 1..=64");
     let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
-    let words: Vec<u64> = (0..num_inputs).map(|_| rng.gen::<u64>() & mask).collect();
+    let words: Vec<u64> = (0..num_inputs).map(|_| rng.next_u64() & mask).collect();
     PatternBlock::from_words(words, count)
 }
 
 /// `count` uniformly random input vectors, deterministic in `seed`.
 pub fn random_vectors(num_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..count)
-        .map(|_| (0..num_inputs).map(|_| rng.gen::<bool>()).collect())
+        .map(|_| (0..num_inputs).map(|_| rng.next_bool()).collect())
         .collect()
 }
 
@@ -43,7 +42,7 @@ mod tests {
 
     #[test]
     fn block_sizes() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         for count in [1usize, 17, 64] {
             let b = random_block(5, count, &mut rng);
             assert_eq!(b.len(), count);

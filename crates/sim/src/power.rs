@@ -8,8 +8,7 @@
 
 use crate::func::{simulate_block, PatternBlock};
 use crate::patterns::random_block;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tm_testkit::rng::Rng;
 use tm_netlist::Netlist;
 
 /// Result of a power estimation run.
@@ -47,7 +46,7 @@ pub fn estimate_power(netlist: &Netlist, num_vectors: usize, seed: u64) -> Power
     assert!(num_vectors >= 2, "need at least two vectors to observe switching");
     let lib = netlist.library();
     let n_inputs = netlist.inputs().len();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     let mut energy = 0.0f64;
     let mut toggles_total = 0u64;

@@ -2,8 +2,10 @@
 //! timing analysis: STA's worst-case arrival bounds every dynamic
 //! settle time, and sampling after the critical path delay is always
 //! clean.
+//!
+//! Runs on the in-repo `tm-testkit` property runner; a failing case
+//! prints its seed (reproduce with `TM_PROP_SEED=<seed>`).
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use tm_netlist::generate::{generate, GeneratorSpec};
 use tm_netlist::library::lsi10k_like;
@@ -11,77 +13,99 @@ use tm_netlist::{Delay, Netlist};
 use tm_sim::patterns::random_vectors;
 use tm_sim::timing::TimingSim;
 use tm_sta::Sta;
+use tm_testkit::prop::{check, Config, Gen};
+use tm_testkit::{prop_assert, prop_assert_eq};
 
-fn circuit_strategy() -> impl Strategy<Value = Netlist> {
-    (5usize..10, 2usize..5, 25usize..70, 0u64..100_000).prop_map(
-        |(inputs, outputs, gates, seed)| {
-            let mut spec = GeneratorSpec::sized(format!("sta_sim_{seed}"), inputs, outputs, gates);
-            spec.seed = seed;
-            generate(&spec, Arc::new(lsi10k_like()))
-        },
-    )
+fn gen_circuit(g: &mut Gen) -> Netlist {
+    let inputs = g.gen_range(5usize..10);
+    let outputs = g.gen_range(2usize..5);
+    let gates = g.gen_range(25usize..70);
+    let seed = g.gen_range(0u64..100_000);
+    let mut spec = GeneratorSpec::sized(format!("sta_sim_{seed}"), inputs, outputs, gates);
+    spec.seed = seed;
+    generate(&spec, Arc::new(lsi10k_like()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// No dynamic transition settles later than STA's worst-case
-    /// arrival at any output, and sampling at Δ is always error-free.
-    #[test]
-    fn arrivals_bound_settle_times(nl in circuit_strategy(), seed in 0u64..10_000) {
-        let sta = Sta::new(&nl);
-        let delta = sta.critical_path_delay();
-        let sim = TimingSim::new(&nl);
-        let vectors = random_vectors(nl.inputs().len(), 12, seed);
-        for pair in vectors.windows(2) {
-            let r = sim.transition(&pair[0], &pair[1], delta);
-            prop_assert!(!r.has_error(), "error when sampling at Δ");
-            prop_assert!(r.settle_time <= delta + Delay::new(1e-3));
-            for (pos, &o) in nl.outputs().iter().enumerate() {
-                prop_assert!(
-                    r.output_settle[pos] <= sta.arrival(o) + Delay::new(1e-3),
-                    "output {pos} settled after its STA arrival"
-                );
+/// No dynamic transition settles later than STA's worst-case arrival
+/// at any output, and sampling at Δ is always error-free.
+#[test]
+fn arrivals_bound_settle_times() {
+    check(
+        "arrivals_bound_settle_times",
+        &Config::with_cases(20),
+        |g| (gen_circuit(g), g.gen_range(0u64..10_000)),
+        |(nl, seed)| {
+            let sta = Sta::new(nl);
+            let delta = sta.critical_path_delay();
+            let sim = TimingSim::new(nl);
+            let vectors = random_vectors(nl.inputs().len(), 12, *seed);
+            for pair in vectors.windows(2) {
+                let r = sim.transition(&pair[0], &pair[1], delta);
+                prop_assert!(!r.has_error(), "error when sampling at Δ");
+                prop_assert!(r.settle_time <= delta + Delay::new(1e-3));
+                for (pos, &o) in nl.outputs().iter().enumerate() {
+                    prop_assert!(
+                        r.output_settle[pos] <= sta.arrival(o) + Delay::new(1e-3),
+                        "output {pos} settled after its STA arrival"
+                    );
+                }
+                prop_assert_eq!(&r.settled, &nl.eval(&pair[1]));
             }
-            prop_assert_eq!(&r.settled, &nl.eval(&pair[1]));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Uniform gate slowdown scales STA and simulation consistently:
-    /// the aged simulator never settles later than the aged STA bound.
-    #[test]
-    fn aging_consistency(nl in circuit_strategy(), pct in 1u32..40) {
-        let factor = 1.0 + pct as f64 / 100.0;
-        let scale = vec![factor; nl.num_gates()];
-        let sta = Sta::with_scale(&nl, scale.clone());
-        let sim = TimingSim::with_scale(&nl, scale);
-        let delta = sta.critical_path_delay();
-        let vectors = random_vectors(nl.inputs().len(), 8, 77);
-        for pair in vectors.windows(2) {
-            let r = sim.transition(&pair[0], &pair[1], delta);
-            prop_assert!(!r.has_error());
-            prop_assert!(r.settle_time <= delta + Delay::new(1e-3));
-        }
-        // And the aged Δ is exactly factor × nominal Δ under uniform scaling.
-        let nominal = Sta::new(&nl).critical_path_delay();
-        prop_assert!((delta.units() - nominal.units() * factor).abs() < 1e-9);
-    }
-
-    /// Functional simulation (bit-parallel) agrees with the settled
-    /// state of the event-driven simulator.
-    #[test]
-    fn functional_matches_event_driven(nl in circuit_strategy(), seed in 0u64..10_000) {
-        use tm_sim::func::{simulate_outputs, PatternBlock};
-        let vectors = random_vectors(nl.inputs().len(), 16, seed);
-        let block = PatternBlock::from_patterns(&vectors);
-        let words = simulate_outputs(&nl, &block);
-        let sim = TimingSim::new(&nl);
-        let delta = Sta::new(&nl).critical_path_delay();
-        for k in 1..vectors.len() {
-            let r = sim.transition(&vectors[k - 1], &vectors[k], delta);
-            for (pos, &w) in words.iter().enumerate() {
-                prop_assert_eq!(r.settled[pos], (w >> k) & 1 == 1, "output {} vector {}", pos, k);
+/// Uniform gate slowdown scales STA and simulation consistently:
+/// the aged simulator never settles later than the aged STA bound.
+#[test]
+fn aging_consistency() {
+    check(
+        "aging_consistency",
+        &Config::with_cases(20),
+        |g| (gen_circuit(g), g.gen_range(1u32..40)),
+        |(nl, pct)| {
+            let factor = 1.0 + *pct as f64 / 100.0;
+            let scale = vec![factor; nl.num_gates()];
+            let sta = Sta::with_scale(nl, scale.clone());
+            let sim = TimingSim::with_scale(nl, scale);
+            let delta = sta.critical_path_delay();
+            let vectors = random_vectors(nl.inputs().len(), 8, 77);
+            for pair in vectors.windows(2) {
+                let r = sim.transition(&pair[0], &pair[1], delta);
+                prop_assert!(!r.has_error());
+                prop_assert!(r.settle_time <= delta + Delay::new(1e-3));
             }
-        }
-    }
+            // And the aged Δ is exactly factor × nominal Δ under uniform scaling.
+            let nominal = Sta::new(nl).critical_path_delay();
+            prop_assert!((delta.units() - nominal.units() * factor).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
+
+/// Functional simulation (bit-parallel) agrees with the settled
+/// state of the event-driven simulator.
+#[test]
+fn functional_matches_event_driven() {
+    check(
+        "functional_matches_event_driven",
+        &Config::with_cases(20),
+        |g| (gen_circuit(g), g.gen_range(0u64..10_000)),
+        |(nl, seed)| {
+            use tm_sim::func::{simulate_outputs, PatternBlock};
+            let vectors = random_vectors(nl.inputs().len(), 16, *seed);
+            let block = PatternBlock::from_patterns(&vectors);
+            let words = simulate_outputs(nl, &block);
+            let sim = TimingSim::new(nl);
+            let delta = Sta::new(nl).critical_path_delay();
+            for k in 1..vectors.len() {
+                let r = sim.transition(&vectors[k - 1], &vectors[k], delta);
+                for (pos, &w) in words.iter().enumerate() {
+                    prop_assert_eq!(r.settled[pos], (w >> k) & 1 == 1, "output {} vector {}", pos, k);
+                }
+            }
+            Ok(())
+        },
+    );
 }

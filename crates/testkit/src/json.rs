@@ -1,0 +1,133 @@
+//! A tiny JSON value type and writer (the workspace's `serde_json`
+//! stand-in; output only — nothing in the repo parses JSON).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object members.
+    pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a trailing ".0" so
+                    // counts look like counts.
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Json::obj([
+            ("name", Json::str("spcf")),
+            ("ok", Json::Bool(true)),
+            ("median_ns", Json::Num(1250.0)),
+            ("p95_ns", Json::Num(1300.5)),
+            ("tags", Json::Arr(vec![Json::str("a"), Json::Null])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"spcf","ok":true,"median_ns":1250,"p95_ns":1300.5,"tags":["a",null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::str("a\"b\\c\nd\u{1}").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+}

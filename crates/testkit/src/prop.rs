@@ -1,0 +1,451 @@
+//! A miniature property-test runner.
+//!
+//! Replaces `proptest` for this workspace. The design is
+//! Hypothesis-style: a property's input is generated from a stream of
+//! raw `u64` *choices* drawn through [`Gen`]; the runner records the
+//! choice tape, and when a case fails it shrinks the **tape** (zeroing,
+//! halving, decrementing and truncating entries) and regenerates the
+//! input from the shrunk tape. Because every generated structure —
+//! integers, bit-vectors, whole netlists — is a deterministic function
+//! of the tape, one shrinker covers them all: integer draws shrink
+//! toward the range minimum, bitvec words shrink toward zero, sizes
+//! shrink toward their lower bounds.
+//!
+//! Failures report the case seed; re-run just that case with
+//! `TM_PROP_SEED=<seed> cargo test <name>`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_testkit::prop::{check, Config, Gen};
+//!
+//! check("addition_commutes", &Config::default(), |g: &mut Gen| {
+//!     (g.gen_range(0u64..1000), g.gen_range(0u64..1000))
+//! }, |&(a, b)| {
+//!     if a + b == b + a { Ok(()) } else { Err("math broke".to_string()) }
+//! });
+//! ```
+
+use crate::rng::{splitmix64, Rng, SampleRange};
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from it.
+    pub seed: u64,
+    /// Maximum number of candidate tapes tried while shrinking.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 32, seed: 0x7E57_0000_2009_0bb5, max_shrink_iters: 2_000 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases (default seed and shrink budget).
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// The choice source handed to generator closures.
+///
+/// In fresh mode it draws from a seeded [`Rng`] and records the tape;
+/// in replay mode it reads a (shrunk) tape back, substituting zeros
+/// once the tape is exhausted — the canonical "smallest" choice.
+pub struct Gen {
+    rng: Rng,
+    tape: Vec<u64>,
+    replay: Option<Vec<u64>>,
+    pos: usize,
+}
+
+impl Gen {
+    fn fresh(seed: u64) -> Self {
+        Gen { rng: Rng::seed_from_u64(seed), tape: Vec::new(), replay: None, pos: 0 }
+    }
+
+    fn replaying(tape: Vec<u64>) -> Self {
+        Gen { rng: Rng::seed_from_u64(0), tape: Vec::new(), replay: Some(tape), pos: 0 }
+    }
+
+    /// The next raw 64-bit choice.
+    pub fn next_raw(&mut self) -> u64 {
+        let raw = match &self.replay {
+            Some(tape) => tape.get(self.pos).copied().unwrap_or(0),
+            None => self.rng.next_u64(),
+        };
+        self.pos += 1;
+        self.tape.push(raw);
+        raw
+    }
+
+    /// A uniform sample from the range; shrinks toward the range start.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(&mut || self.next_raw())
+    }
+
+    /// `true` with probability `p`; shrinks toward `false`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // Raw 0 maps to 1.0 so the shrunk choice is `false`.
+        crate::rng::map_unit_f64(!self.next_raw()) < p
+    }
+
+    /// A uniformly random bool; shrinks toward `false`.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_raw() & 1 == 1
+    }
+
+    /// A raw word masked to `bits` bits; shrinks toward zero. The
+    /// building block for random truth tables and bit-vectors.
+    pub fn bits(&mut self, bits: u32) -> u64 {
+        let raw = self.next_raw();
+        if bits >= 64 {
+            raw
+        } else {
+            raw & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// `len` raw words, each masked to `bits` bits (a random bitvec).
+    pub fn bitvec(&mut self, len: usize, bits: u32) -> Vec<u64> {
+        (0..len).map(|_| self.bits(bits)).collect()
+    }
+}
+
+/// Environment variable that pins the runner to a single case seed.
+pub const SEED_ENV: &str = "TM_PROP_SEED";
+
+fn case_seed(base: u64, case: u32) -> u64 {
+    let mut s = base ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut s)
+}
+
+/// Runs a property over `cfg.cases` generated inputs.
+///
+/// `gen` builds an input from the choice stream; `prop` returns
+/// `Err(reason)` to fail the case. On failure the input is shrunk and
+/// the runner panics with the case seed, the shrunk input's `Debug`
+/// form, and the failure reason.
+///
+/// # Panics
+///
+/// Panics when a case fails (that is the point).
+pub fn check<T: std::fmt::Debug>(
+    name: &str,
+    cfg: &Config,
+    gen: impl Fn(&mut Gen) -> T,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    let pinned: Option<u64> = std::env::var(SEED_ENV)
+        .ok()
+        .and_then(|v| parse_seed(&v));
+    let cases: Vec<u64> = match pinned {
+        Some(seed) => vec![seed],
+        None => (0..cfg.cases).map(|i| case_seed(cfg.seed, i)).collect(),
+    };
+
+    for (i, &seed) in cases.iter().enumerate() {
+        let mut g = Gen::fresh(seed);
+        let input = gen(&mut g);
+        let outcome = prop(&input);
+        if let Err(reason) = outcome {
+            let tape = g.tape.clone();
+            let (min_input, min_reason, shrinks) =
+                shrink(&tape, &gen, &prop, cfg.max_shrink_iters, input, reason);
+            panic!(
+                "property `{name}` failed (case {i}, seed {seed:#018x}, {shrinks} shrinks)\n\
+                 reproduce: {SEED_ENV}={seed:#018x} cargo test\n\
+                 minimal input: {min_input:#?}\n\
+                 failure: {min_reason}"
+            );
+        }
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        v.replace('_', "").parse().ok()
+    }
+}
+
+/// Shrinks a failing tape; returns the minimal failing input, its
+/// failure reason, and the number of successful shrink steps.
+fn shrink<T: std::fmt::Debug>(
+    tape: &[u64],
+    gen: &impl Fn(&mut Gen) -> T,
+    prop: &impl Fn(&T) -> Result<(), String>,
+    budget: u32,
+    worst_input: T,
+    worst_reason: String,
+) -> (T, String, u32) {
+    let mut best = tape.to_vec();
+    let mut best_input = worst_input;
+    let mut best_reason = worst_reason;
+    let mut tried = 0u32;
+    let mut improved_any = 0u32;
+
+    // A candidate tape fails ⇒ adopt it. Regeneration may consume
+    // fewer/more choices than the tape holds; both are fine (missing
+    // choices read as 0).
+    let attempt = |cand: Vec<u64>,
+                       best: &mut Vec<u64>,
+                       best_input: &mut T,
+                       best_reason: &mut String|
+     -> bool {
+        let mut g = Gen::replaying(cand);
+        let input = gen(&mut g);
+        if g.tape == *best {
+            // Regeneration padded the candidate back to the current
+            // tape (e.g. truncating an already-zero tail): no progress.
+            return false;
+        }
+        match prop(&input) {
+            Err(reason) => {
+                *best = g.tape.clone();
+                *best_input = input;
+                *best_reason = reason;
+                true
+            }
+            Ok(()) => false,
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: truncate the tail (shrinks collection sizes fast).
+        let mut cut = best.len() / 2;
+        while cut > 0 && tried < budget {
+            if best.len() <= cut {
+                break;
+            }
+            tried += 1;
+            let cand = best[..best.len() - cut].to_vec();
+            if attempt(cand, &mut best, &mut best_input, &mut best_reason) {
+                improved = true;
+                improved_any += 1;
+            } else {
+                cut /= 2;
+            }
+        }
+
+        // Pass 2: zero each entry (smallest choice at each point).
+        for i in 0..best.len() {
+            if tried >= budget {
+                break;
+            }
+            if best[i] == 0 {
+                continue;
+            }
+            tried += 1;
+            let mut cand = best.clone();
+            cand[i] = 0;
+            if attempt(cand, &mut best, &mut best_input, &mut best_reason) {
+                improved = true;
+                improved_any += 1;
+            }
+        }
+
+        // Pass 3: binary-search each entry downward.
+        for i in 0..best.len() {
+            if tried >= budget {
+                break;
+            }
+            let mut lo = 0u64;
+            while lo < best.get(i).copied().unwrap_or(0) && tried < budget {
+                let mid = lo + (best[i] - lo) / 2;
+                if mid == best[i] {
+                    break;
+                }
+                tried += 1;
+                let mut cand = best.clone();
+                cand[i] = mid;
+                if attempt(cand, &mut best, &mut best_input, &mut best_reason) {
+                    improved = true;
+                    improved_any += 1;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        if !improved || tried >= budget {
+            break;
+        }
+    }
+    (best_input, best_reason, improved_any)
+}
+
+/// Fails the surrounding property when `cond` is false.
+///
+/// Use inside the property closure of [`check`]; expands to an early
+/// `return Err(..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two sides differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        let cfg = Config::with_cases(17);
+        // Count via a cell captured by the generator.
+        let counter = std::cell::Cell::new(0u32);
+        check("counts", &cfg, |g| {
+            counter.set(counter.get() + 1);
+            g.gen_range(0u64..100)
+        }, |_| Ok(()));
+        ran += counter.get();
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let err = std::panic::catch_unwind(|| {
+            check("always_fails", &Config::with_cases(4), |g| g.gen_range(0u64..100), |_| {
+                Err("nope".to_string())
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"));
+        assert!(msg.contains(SEED_ENV));
+        assert!(msg.contains("nope"));
+    }
+
+    #[test]
+    fn shrinking_finds_integer_boundary() {
+        // Fails for x >= 500: the minimal counterexample is exactly 500.
+        let err = std::panic::catch_unwind(|| {
+            check(
+                "boundary",
+                &Config::with_cases(200),
+                |g| g.gen_range(0u64..10_000),
+                |&x| if x < 500 { Ok(()) } else { Err(format!("{x} too big")) },
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("minimal input: 500"), "shrunk badly: {msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_bitvecs() {
+        // Fails when any word has bit 3 set; minimal tape is the single
+        // word 0b1000 (earlier words zeroed, tail truncated).
+        let err = std::panic::catch_unwind(|| {
+            check(
+                "bitvec",
+                &Config::with_cases(100),
+                |g| g.bitvec(8, 16),
+                |v| {
+                    if v.iter().any(|w| w & 8 != 0) {
+                        Err("bit 3 set".to_string())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        // All surviving words are 0 except one that is exactly 8.
+        let nonzero = msg.matches("    8,").count();
+        assert_eq!(nonzero, 1, "expected exactly one word == 8 in: {msg}");
+    }
+
+    #[test]
+    fn tuples_and_derived_structures_shrink() {
+        #[derive(Debug)]
+        struct Pair {
+            a: u64,
+            b: Vec<u64>,
+        }
+        let err = std::panic::catch_unwind(|| {
+            check(
+                "derived",
+                &Config::with_cases(100),
+                |g| {
+                    let a = g.gen_range(0u64..64);
+                    let len = g.gen_range(1usize..6);
+                    let b = g.bitvec(len, 8);
+                    Pair { a, b }
+                },
+                |p| {
+                    if p.a >= 10 && p.b.iter().sum::<u64>() >= 1 {
+                        Err("both conditions".to_string())
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("a: 10"), "a not minimal: {msg}");
+    }
+
+    #[test]
+    fn gen_bool_shrinks_to_false() {
+        let mut g = Gen::replaying(vec![]);
+        assert!(!g.gen_bool(0.9), "zero choice must decode as false");
+        assert!(!g.next_bool());
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("123"), Some(123));
+        assert_eq!(parse_seed("0x7f"), Some(127));
+        assert_eq!(parse_seed("0x00ff_0000_0000_0001"), Some(0x00ff_0000_0000_0001));
+        assert_eq!(parse_seed("garbage"), None);
+    }
+}

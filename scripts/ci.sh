@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline CI for the timemask workspace.
+#
+# 1. Guard the hermetic-build policy (DESIGN.md §5): every dependency of
+#    every workspace crate must itself be a workspace path dependency —
+#    no registry (crates.io or mirror) or git sources, ever.
+# 2. Build and test the whole workspace with `--offline`, proving the
+#    tree compiles and passes with no network and no registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== hermetic-dependency guard =="
+# `cargo metadata` lists every resolved package; workspace path
+# dependencies have "source": null, anything fetched has a source URL.
+# No jq in the image, so scan the JSON for non-null "source" keys.
+metadata=$(cargo metadata --format-version 1 --offline)
+if printf '%s' "$metadata" | grep -o '"source":"[^"]*"' | grep -q .; then
+    echo "ERROR: non-workspace dependencies found:" >&2
+    printf '%s' "$metadata" | grep -o '"name":"[^"]*","version":"[^"]*","id":"[^"]*","license' \
+        | head -20 >&2 || true
+    printf '%s' "$metadata" | grep -o '"source":"[^"]*"' | sort -u >&2
+    echo "The workspace must stay hermetic: extend crates/testkit instead" >&2
+    echo "of adding a dependency (see DESIGN.md §5)." >&2
+    exit 1
+fi
+echo "ok: all dependencies are workspace-local"
+
+echo "== offline release build =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== offline workspace tests =="
+cargo test -q --offline --workspace
+
+echo "CI OK"

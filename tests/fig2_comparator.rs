@@ -54,6 +54,35 @@ fn spcf_matches_paper_formula() {
     assert_eq!(sp.critical_pattern_count(&bdd), 10.0);
 }
 
+/// Golden numbers of the worked example, pinned against all three
+/// engines: `Δ = 7`, `Δ_y = 6.3`, and 10 critical patterns. The
+/// node-based over-approximation happens to be exact on Fig. 2, so all
+/// three engines must report the same count.
+#[test]
+fn fig2_goldens_all_engines() {
+    let nl = comparator2(Arc::new(lsi10k_like()));
+    let sta = Sta::new(&nl);
+    let delta = sta.critical_path_delay();
+    assert_eq!(delta, Delay::new(7.0), "Δ");
+    let target = delta * 0.9;
+    assert_eq!(target, Delay::new(6.3), "Δ_y");
+
+    let mut bdd = Bdd::new(4);
+    for (name, set) in [
+        ("short-path", short_path_spcf(&nl, &sta, &mut bdd, target)),
+        ("path-based", path_based_spcf(&nl, &sta, &mut bdd, target)),
+        ("node-based", node_based_spcf(&nl, &sta, &mut bdd, target)),
+    ] {
+        assert_eq!(set.target, target, "{name}: Δ_y");
+        assert_eq!(set.outputs.len(), 1, "{name}: one critical output");
+        assert_eq!(
+            set.critical_pattern_count(&bdd),
+            10.0,
+            "{name}: critical pattern count"
+        );
+    }
+}
+
 /// Paper: `ỹ = (a0 + b̄0)(a1 + b̄1)` predicts `y` whenever `e = 1`, and
 /// the simplified `e` covers `Σ_y` — i.e. 100 % masking.
 #[test]
