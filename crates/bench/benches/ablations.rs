@@ -3,18 +3,20 @@
 //! `tm-testkit` harness (JSON report in `target/tm-bench/`).
 
 use std::hint::black_box;
-use tm_bench::harness_library;
+use tm_bench::{harness_library, BenchArgs};
 use tm_masking::{duplication_masking, synthesize, CubeSelection, MaskingOptions};
 use tm_netlist::extract::ExtractOptions;
 use tm_netlist::suites::smoke_suite;
 use tm_testkit::bench::BenchGroup;
 
 fn main() {
+    let args = BenchArgs::parse();
     let lib = harness_library();
 
     let nl = smoke_suite()[0].build(lib.clone());
     let mut group = BenchGroup::new("ablation_cube_selection");
     group.sample_size(10);
+    args.apply(&mut group);
     group.bench("essential_weight", || {
         black_box(synthesize(&nl, MaskingOptions::default()).design.masking.area())
     });
@@ -30,6 +32,7 @@ fn main() {
     let nl = smoke_suite()[3].build(lib);
     let mut group = BenchGroup::new("ablation_extraction_bound");
     group.sample_size(10);
+    args.apply(&mut group);
     for k in [4usize, 8, 12, 16] {
         group.bench(&format!("max_support/{k}"), || {
             let opts = MaskingOptions {
@@ -40,4 +43,5 @@ fn main() {
         });
     }
     group.finish();
+    args.write_metrics();
 }

@@ -3,7 +3,7 @@
 //! `tm-testkit` harness (JSON report in `target/tm-bench/`).
 
 use std::hint::black_box;
-use tm_bench::harness_library;
+use tm_bench::{harness_library, BenchArgs};
 use tm_masking::{synthesize, uniform_aging, MaskingOptions};
 use tm_monitor::trace::{CapturePolicy, DebugSession};
 use tm_monitor::wearout::{run_lifetime, LifetimeConfig};
@@ -12,12 +12,14 @@ use tm_sim::patterns::random_vectors;
 use tm_testkit::bench::BenchGroup;
 
 fn main() {
+    let args = BenchArgs::parse();
     let lib = harness_library();
     let nl = smoke_suite()[0].build(lib);
     let design = synthesize(&nl, MaskingOptions::default()).design;
 
     let mut group = BenchGroup::new("monitor");
     group.sample_size(10);
+    args.apply(&mut group);
 
     let config = LifetimeConfig {
         epochs: 4,
@@ -41,4 +43,5 @@ fn main() {
     });
 
     group.finish();
+    args.write_metrics();
 }

@@ -1,19 +1,26 @@
 //! Benchmarks for the three SPCF engines (Table 1 kernels), on the
 //! in-repo `tm-testkit` harness (JSON report in `target/tm-bench/`).
+//!
+//! Flags (see [`BenchArgs`]): `--samples N`, `--metrics-out PATH`, and
+//! `--smoke` to run the small smoke suite instead of the three largest
+//! Table 1 circuits.
 
 use std::hint::black_box;
-use tm_bench::harness_library;
+use tm_bench::{harness_library, BenchArgs};
 use tm_logic::Bdd;
-use tm_netlist::suites::table1_suite;
+use tm_netlist::suites::{smoke_suite, table1_suite};
 use tm_spcf::{node_based_spcf, path_based_spcf, short_path_spcf};
 use tm_sta::Sta;
 use tm_testkit::bench::BenchGroup;
 
 fn main() {
+    let args = BenchArgs::parse();
     let lib = harness_library();
     let mut group = BenchGroup::new("spcf_algorithms");
     group.sample_size(10);
-    for entry in table1_suite().iter().take(3) {
+    args.apply(&mut group);
+    let suite = if args.smoke { smoke_suite() } else { table1_suite() };
+    for entry in suite.iter().take(3) {
         let nl = entry.build(lib.clone());
         let sta = Sta::new(&nl);
         let target = sta.critical_path_delay() * 0.9;
@@ -31,4 +38,5 @@ fn main() {
         });
     }
     group.finish();
+    args.write_metrics();
 }

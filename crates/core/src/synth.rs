@@ -77,17 +77,23 @@ impl std::fmt::Debug for MaskingResult {
 /// ```
 pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
     options.validate();
-    let trace = std::env::var("TM_TRACE").is_ok();
+    // Progress eprintln's are the verbose tier: structured spans and
+    // counters cover TM_TRACE=1, the log lines only appear at 2.
+    let trace = tm_telemetry::trace_level() >= 2;
     macro_rules! trace {
         ($($arg:tt)*) => { if trace { eprintln!($($arg)*); } };
     }
+    let _span = tm_telemetry::span!("masking.synthesize");
     let start = Instant::now();
     let sta = Sta::new(netlist);
     let delta = sta.critical_path_delay();
     let target = delta * options.target_fraction;
 
     let mut bdd = Bdd::new(netlist.inputs().len().max(1));
-    let spcf = short_path_spcf(netlist, &sta, &mut bdd, target);
+    let spcf = {
+        let _s = tm_telemetry::span!("masking.spcf");
+        short_path_spcf(netlist, &sta, &mut bdd, target)
+    };
     let zero = bdd.zero();
     let protected_outputs: Vec<(NetId, BddRef)> = spcf
         .outputs
@@ -104,10 +110,12 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
 
     // Technology-independent view of the original circuit.
     trace!("[synth {:?}] spcf done", start.elapsed());
+    let extract_span = tm_telemetry::span!("masking.extract");
     let tin = extract(netlist, options.extract);
     trace!("[synth {:?}] extract done ({} nodes)", start.elapsed(), tin.num_nodes());
     let globals = tin.global_bdds(&mut bdd);
     trace!("[synth {:?}] globals done", start.elapsed());
+    drop(extract_span);
 
     // Care set per node: union of the SPCFs of critical outputs whose
     // fanin cone contains it.
@@ -137,6 +145,7 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
         indicator: Option<Sop>,
     }
     let mut mask_nodes: HashMap<SigId, MaskNode> = HashMap::new();
+    let covers_span = tm_telemetry::span!("masking.covers");
     for sig in tin.node_sigs() {
         if care[sig.index()] == zero {
             continue;
@@ -192,6 +201,8 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
             },
         );
     }
+    drop(covers_span);
+    tm_telemetry::counter_add("masking.synth.nodes_masked", mask_nodes.len() as u64);
     trace!("[synth {:?}] node covers done ({} nodes)", start.elapsed(), mask_nodes.len());
 
     // Assemble the masking network: mirrored reduced nodes, per-node e
@@ -240,8 +251,10 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
 
     // Map the masking network, clean it up, and enforce the slack
     // budget.
+    let map_span = tm_telemetry::span!("masking.map");
     let mapped = tech_map(&mnet, netlist.library().clone(), options.map);
     let (mut masking, cleanup_stats) = tm_netlist::cleanup::cleanup(&mapped);
+    drop(map_span);
     trace!(
         "[synth {:?}] mapped ({} gates, cleanup removed {})",
         start.elapsed(),
@@ -249,13 +262,17 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
         cleanup_stats.removed()
     );
     let slack_budget = delta * (1.0 - options.slack_fraction);
-    enforce_slack(&mut masking, slack_budget, options.sizing_iterations);
+    {
+        let _s = tm_telemetry::span!("masking.slack");
+        enforce_slack(&mut masking, slack_budget, options.sizing_iterations);
+    }
     trace!("[synth {:?}] slack enforced", start.elapsed());
 
     let design = assemble_masked_design(netlist, masking, &masked_meta);
     trace!("[synth {:?}] combined built ({} gates)", start.elapsed(), design.combined.num_gates());
     let report = MaskingReport::measure(&design, &spcf, &mut bdd, delta, target, options.slack_fraction, start.elapsed());
     trace!("[synth {:?}] measured", start.elapsed());
+    bdd.publish_metrics();
     MaskingResult { design, bdd, spcf, report }
 }
 
@@ -327,6 +344,8 @@ fn select_cover_by_essential_weight(
     care: BddRef,
 ) -> Sop {
     let arity = cover.num_vars();
+    tm_telemetry::counter_add("masking.synth.selection_rounds", 1);
+    tm_telemetry::counter_add("masking.synth.cubes_considered", cover.cubes().len() as u64);
     let mut remaining = care;
     let mut selected: Vec<(Cube, BddRef)> = Vec::new();
     for cube in cover.cubes() {
@@ -367,6 +386,7 @@ fn select_cover_by_essential_weight(
         .filter(|(_, k)| *k)
         .map(|((c, _), _)| c)
         .collect();
+    tm_telemetry::counter_add("masking.synth.cubes_kept", cubes.len() as u64);
     Sop::from_cubes(arity, cubes)
 }
 

@@ -76,6 +76,7 @@ impl VerificationReport {
 /// assert_eq!(verdict.coverage(), 1.0);
 /// ```
 pub fn verify(result: &mut MaskingResult) -> VerificationReport {
+    let _span = tm_telemetry::span!("masking.verify");
     let bdd = &mut result.bdd;
     let design = &result.design;
 
@@ -122,6 +123,13 @@ pub fn verify(result: &mut MaskingResult) -> VerificationReport {
         .zip(design.combined.outputs())
         .all(|(&o, &c)| orig_globals[o.index()] == comb_globals[c.index()]);
 
+    // Transparency checks every primary output; the loop above checked
+    // the protected ones.
+    tm_telemetry::counter_add(
+        "masking.verify.outputs_checked",
+        (outputs.len() + design.original.outputs().len()) as u64,
+    );
+    bdd.publish_metrics();
     VerificationReport { outputs, functionally_transparent }
 }
 

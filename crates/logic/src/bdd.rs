@@ -71,6 +71,30 @@ pub struct Bdd {
     unique: HashMap<(u32, u32, u32), u32>,
     ite_cache: HashMap<(u32, u32, u32), u32>,
     quant_cache: HashMap<(u32, u64), u32>,
+    stats: BddStats,
+    /// Stats as of the last [`Bdd::publish_metrics`] call, so repeated
+    /// publishes from one manager emit deltas, never double-counts.
+    published: BddStats,
+}
+
+/// Lifetime operation counts of one [`Bdd`] manager.
+///
+/// Counted unconditionally on plain fields — keeping the hot `mk` /
+/// `ite_rec` paths free of any telemetry-gating branches — and pushed
+/// into `tm-telemetry` only when [`Bdd::publish_metrics`] is called.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// `mk` calls resolved from the unique table (node already existed).
+    pub unique_hits: u64,
+    /// `mk` calls that allocated a fresh node.
+    pub unique_misses: u64,
+    /// `ite` recursions resolved from the computed-cache.
+    pub ite_cache_hits: u64,
+    /// `ite` recursions that had to expand (and then filled the cache).
+    pub ite_cache_misses: u64,
+    /// Times the operation caches were dropped via
+    /// [`Bdd::clear_op_caches`].
+    pub op_cache_clears: u64,
 }
 
 impl fmt::Debug for Bdd {
@@ -93,6 +117,8 @@ impl Bdd {
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
             quant_cache: HashMap::new(),
+            stats: BddStats::default(),
+            published: BddStats::default(),
         }
     }
 
@@ -146,8 +172,10 @@ impl Bdd {
             return lo;
         }
         if let Some(&idx) = self.unique.get(&(var, lo, hi)) {
+            self.stats.unique_hits += 1;
             return idx;
         }
+        self.stats.unique_misses += 1;
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), idx);
@@ -188,8 +216,10 @@ impl Bdd {
             return f;
         }
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.stats.ite_cache_hits += 1;
             return r;
         }
+        self.stats.ite_cache_misses += 1;
         let v = self
             .top_var(f)
             .min(self.top_var(g))
@@ -524,8 +554,44 @@ impl Bdd {
     /// existing [`BddRef`]s stay valid). Useful between independent
     /// workloads to bound memory.
     pub fn clear_op_caches(&mut self) {
+        self.stats.op_cache_clears += 1;
         self.ite_cache.clear();
         self.quant_cache.clear();
+    }
+
+    /// This manager's lifetime operation counts.
+    pub fn stats(&self) -> BddStats {
+        self.stats
+    }
+
+    /// Occupancy of the unique table (reduced, non-terminal nodes).
+    pub fn unique_entries(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Publishes this manager's counts to `tm-telemetry` under the
+    /// `logic.bdd.*` names: counters get the delta since the previous
+    /// publish (safe to call repeatedly from nested instrumentation),
+    /// gauges get the current node and unique-table occupancy.
+    pub fn publish_metrics(&mut self) {
+        if !tm_telemetry::enabled() {
+            return;
+        }
+        let d = BddStats {
+            unique_hits: self.stats.unique_hits - self.published.unique_hits,
+            unique_misses: self.stats.unique_misses - self.published.unique_misses,
+            ite_cache_hits: self.stats.ite_cache_hits - self.published.ite_cache_hits,
+            ite_cache_misses: self.stats.ite_cache_misses - self.published.ite_cache_misses,
+            op_cache_clears: self.stats.op_cache_clears - self.published.op_cache_clears,
+        };
+        self.published = self.stats;
+        tm_telemetry::counter_add("logic.bdd.unique_hit", d.unique_hits);
+        tm_telemetry::counter_add("logic.bdd.unique_miss", d.unique_misses);
+        tm_telemetry::counter_add("logic.bdd.ite_cache_hit", d.ite_cache_hits);
+        tm_telemetry::counter_add("logic.bdd.ite_cache_miss", d.ite_cache_misses);
+        tm_telemetry::counter_add("logic.bdd.op_cache_clears", d.op_cache_clears);
+        tm_telemetry::gauge_set("logic.bdd.nodes", self.nodes.len() as f64);
+        tm_telemetry::gauge_set("logic.bdd.unique_entries", self.unique.len() as f64);
     }
 }
 
@@ -702,6 +768,31 @@ mod tests {
         let x2 = b.xor(x, y);
         let n = b.not(x2);
         assert_eq!(a, n);
+    }
+
+    #[test]
+    fn stats_count_cache_traffic_and_publish_deltas() {
+        let _scope = tm_telemetry::Scope::enter();
+        let mut b = Bdd::new(6);
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        let f = b.and(x0, x1);
+        let _g = b.and(x0, x1); // identical op: pure cache hits
+        let _h = b.or(f, x0);
+        let s = b.stats();
+        assert!(s.ite_cache_hits >= 1, "repeated op must hit the cache: {s:?}");
+        assert!(s.unique_misses >= 3, "x0, x1, and f each allocate: {s:?}");
+        assert_eq!(s.unique_misses as usize + 2, b.node_count(), "misses + terminals = nodes");
+
+        b.publish_metrics();
+        let snap = tm_telemetry::snapshot();
+        assert_eq!(snap.counter("logic.bdd.ite_cache_hit"), Some(s.ite_cache_hits));
+        assert_eq!(snap.gauge("logic.bdd.nodes"), Some(b.node_count() as f64));
+
+        // A second publish with no new work must add nothing.
+        b.publish_metrics();
+        let snap = tm_telemetry::snapshot();
+        assert_eq!(snap.counter("logic.bdd.ite_cache_hit"), Some(s.ite_cache_hits));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub struct TraceEntry {
 pub struct TraceBuffer {
     capacity: usize,
     entries: Vec<TraceEntry>,
+    dropped: u64,
 }
 
 impl TraceBuffer {
@@ -48,12 +49,15 @@ impl TraceBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace buffer needs nonzero capacity");
-        TraceBuffer { capacity, entries: Vec::with_capacity(capacity) }
+        TraceBuffer { capacity, entries: Vec::with_capacity(capacity), dropped: 0 }
     }
 
-    /// Stores an entry; returns `false` (and drops it) when full.
+    /// Stores an entry; returns `false` when full. A rejected entry is
+    /// counted in [`TraceBuffer::dropped`] — overflow is data loss, not
+    /// a silent no-op.
     pub fn push(&mut self, entry: TraceEntry) -> bool {
         if self.entries.len() >= self.capacity {
+            self.dropped += 1;
             return false;
         }
         self.entries.push(entry);
@@ -74,6 +78,11 @@ impl TraceBuffer {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Entries rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 /// Result of one debug session.
@@ -86,6 +95,9 @@ pub struct SessionResult {
     pub window: usize,
     /// Total cycles in the workload.
     pub total_cycles: usize,
+    /// Capture-worthy cycles lost to buffer overflow — nonzero means
+    /// the session's record of the workload is incomplete.
+    pub dropped: u64,
 }
 
 /// A debug session over a masked design.
@@ -122,10 +134,12 @@ impl<'a> DebugSession<'a> {
         policy: CapturePolicy,
     ) -> SessionResult {
         assert!(self.design.is_protected(), "debug session needs protected outputs");
+        let _span = tm_telemetry::span!("monitor.trace.session", cycles = vectors.len());
         let (instrumented, probes) = self.design.instrumented();
         let sim = TimingSim::with_scale(&instrumented, scale.to_vec());
         let mut buffer = TraceBuffer::new(capacity);
         let mut window = 0usize;
+        let mut overflowed = false;
         let total_cycles = vectors.len().saturating_sub(1);
         for (cycle, pair) in vectors.windows(2).enumerate() {
             let r = sim.transition(&pair[0], &pair[1], self.clock);
@@ -142,14 +156,21 @@ impl<'a> DebugSession<'a> {
                 CapturePolicy::Always => true,
                 CapturePolicy::OnSpeedPath => vulnerable,
             };
-            if capture && !buffer.push(TraceEntry { cycle, signals }) {
-                // Buffer just overflowed: the window ends here.
+            // The window ends at the first overflow, but the rest of
+            // the workload still runs so every lost capture is counted
+            // (a full buffer used to end the session silently).
+            if capture && !buffer.push(TraceEntry { cycle, signals }) && !overflowed {
                 window = cycle;
-                return SessionResult { buffer, window, total_cycles };
+                overflowed = true;
             }
-            window = cycle + 1;
+            if !overflowed {
+                window = cycle + 1;
+            }
         }
-        SessionResult { buffer, window, total_cycles }
+        tm_telemetry::counter_add("monitor.trace.captured", buffer.entries().len() as u64);
+        tm_telemetry::counter_add("monitor.trace.dropped", buffer.dropped());
+        let dropped = buffer.dropped();
+        SessionResult { buffer, window, total_cycles, dropped }
     }
 
     /// Runs both policies on the same workload and returns the window
@@ -184,11 +205,33 @@ mod tests {
     fn buffer_respects_capacity() {
         let mut b = TraceBuffer::new(2);
         assert!(b.push(TraceEntry { cycle: 0, signals: vec![true] }));
+        assert_eq!(b.dropped(), 0);
         assert!(b.push(TraceEntry { cycle: 1, signals: vec![false] }));
         assert!(!b.push(TraceEntry { cycle: 2, signals: vec![true] }));
+        assert!(!b.push(TraceEntry { cycle: 3, signals: vec![true] }));
         assert!(b.is_full());
         assert_eq!(b.entries().len(), 2);
         assert_eq!(b.capacity(), 2);
+        assert_eq!(b.dropped(), 2, "every rejected entry must be counted");
+    }
+
+    #[test]
+    fn overflow_session_reports_every_lost_capture() {
+        let _scope = tm_telemetry::Scope::enter();
+        let design = setup();
+        let session = DebugSession::new(&design);
+        let scale = uniform_aging(&design, 1.0);
+        let vectors = random_vectors(4, 100, 7);
+        let r = session.run(&scale, &vectors, 10, CapturePolicy::Always);
+        // 99 cycles, 10 stored: the other 89 are lost and say so.
+        assert_eq!(r.window, 10);
+        assert_eq!(r.total_cycles, 99);
+        assert_eq!(r.dropped, 89);
+        assert_eq!(r.buffer.dropped(), 89);
+        let snap = tm_telemetry::snapshot();
+        assert_eq!(snap.counter("monitor.trace.captured"), Some(10));
+        assert_eq!(snap.counter("monitor.trace.dropped"), Some(89));
+        assert_eq!(snap.span("monitor.trace.session").unwrap().calls, 1);
     }
 
     #[test]

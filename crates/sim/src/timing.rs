@@ -206,6 +206,9 @@ impl<'a> TimingSim<'a> {
             }
         }
 
+        tm_telemetry::counter_add("sim.timing.transitions", 1);
+        tm_telemetry::counter_add("sim.timing.events", events as u64);
+
         let settled: Vec<bool> = outputs.iter().map(|&o| values[o.index()]).collect();
         let initial = self.netlist.eval(prev);
         let mut sampled = Vec::with_capacity(outputs.len());

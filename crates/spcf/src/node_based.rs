@@ -58,7 +58,9 @@ use tm_sta::Sta;
 /// ```
 pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    let _span = tm_telemetry::span!("spcf.node_based", target = target);
     let start = Instant::now();
+    let mut critical_gates = 0u64;
     let mut globals = LazyGlobals::new(netlist);
     let required = sta.required(target);
     let one = bdd.one();
@@ -81,6 +83,7 @@ pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
         if slack_ok {
             continue; // non-critical gates meet timing on every pattern
         }
+        critical_gates += 1;
         let (fanins, delays, tt) = distinct_fanins(netlist, sta, gid);
         let (on_primes, off_primes) = qm::on_off_primes(&tt);
         let mut terms = Vec::with_capacity(on_primes.len() + off_primes.len());
@@ -112,9 +115,16 @@ pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
         if sta.arrival(o) <= target {
             continue;
         }
+        let t0 = Instant::now();
         let spcf = bdd.not(on_time[o.index()]);
+        tm_telemetry::histogram_record(
+            "spcf.node_based.output_ns",
+            t0.elapsed().as_nanos() as f64,
+        );
         outputs.push(OutputSpcf { output: o, spcf });
     }
+    tm_telemetry::counter_add("spcf.node_based.critical_gates", critical_gates);
+    bdd.publish_metrics();
 
     SpcfSet {
         algorithm: Algorithm::NodeBased,

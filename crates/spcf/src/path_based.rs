@@ -52,6 +52,7 @@ impl Waveform {
 /// different netlist.
 pub fn path_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    let _span = tm_telemetry::span!("spcf.path_based", target = target);
     let start = Instant::now();
     let zero = bdd.zero();
     let waves = build_waveforms(netlist, sta, bdd);
@@ -62,11 +63,17 @@ pub fn path_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
         if sta.arrival(o) <= target {
             continue;
         }
+        let t0 = Instant::now();
         let (s1, s0) = waves[o.index()].as_ref().expect("output wave").lookup(qt, zero);
         let settled = bdd.or(s1, s0);
         let spcf = bdd.not(settled);
+        tm_telemetry::histogram_record(
+            "spcf.path_based.output_ns",
+            t0.elapsed().as_nanos() as f64,
+        );
         outputs.push(OutputSpcf { output: o, spcf });
     }
+    bdd.publish_metrics();
 
     SpcfSet {
         algorithm: Algorithm::PathBased,
@@ -115,6 +122,7 @@ fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Optio
     let zero = bdd.zero();
 
     let mut waves: Vec<Option<Waveform>> = vec![None; netlist.num_nets()];
+    let mut waveform_nodes = 0u64;
     for (pos, &net) in netlist.inputs().iter().enumerate() {
         let lit = bdd.var(pos);
         let nlit = bdd.not(lit);
@@ -140,6 +148,9 @@ fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Optio
         }
         times.sort_unstable();
         times.dedup();
+        // One (stab¹, stab⁰) pair is materialized per breakpoint — the
+        // unit of work the short-path memoization avoids.
+        waveform_nodes += times.len() as u64;
 
         let mut stab1 = Vec::with_capacity(times.len());
         let mut stab0 = Vec::with_capacity(times.len());
@@ -188,6 +199,7 @@ fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Optio
         }
         waves[g.output().index()] = Some(Waveform { times: ct, stab1: c1, stab0: c0 });
     }
+    tm_telemetry::counter_add("spcf.path_based.waveform_nodes", waveform_nodes);
     waves
 }
 

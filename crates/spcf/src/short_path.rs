@@ -46,6 +46,9 @@ struct Engine<'a, 'b> {
     min_arrivals_q: Vec<i64>,
     gate_info: Vec<GateInfo>,
     memo: HashMap<(u32, i64, bool), BddRef>,
+    stab_calls: u64,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Engine<'_, '_> {
@@ -99,6 +102,7 @@ impl Engine<'_, '_> {
     /// Patterns for which `net` has settled to `phase` by time `qt`
     /// (quantized).
     fn stab(&mut self, net: NetId, qt: i64, phase: bool) -> BddRef {
+        self.stab_calls += 1;
         // Settled for sure once the worst-case arrival has passed.
         if qt >= self.arrivals_q[net.index()] {
             let f = self.global(net);
@@ -119,8 +123,10 @@ impl Engine<'_, '_> {
         }
         let key = (net.index() as u32, qt, phase);
         if let Some(&r) = self.memo.get(&key) {
+            self.memo_hits += 1;
             return r;
         }
+        self.memo_misses += 1;
         let info_idx = gate.index();
         let prime_count = if phase {
             self.gate_info[info_idx].on_primes.len()
@@ -145,6 +151,19 @@ impl Engine<'_, '_> {
         let r = self.bdd.or_all(terms);
         self.memo.insert(key, r);
         r
+    }
+
+    /// Publishes the engine's memoization counters and the manager's
+    /// `logic.bdd.*` stats to `tm-telemetry`.
+    fn publish_metrics(&mut self) {
+        if !tm_telemetry::enabled() {
+            return;
+        }
+        tm_telemetry::counter_add("spcf.short_path.stab_calls", self.stab_calls);
+        tm_telemetry::counter_add("spcf.short_path.memo_hit", self.memo_hits);
+        tm_telemetry::counter_add("spcf.short_path.memo_miss", self.memo_misses);
+        tm_telemetry::gauge_set("spcf.short_path.memo_entries", self.memo.len() as f64);
+        self.bdd.publish_metrics();
     }
 }
 
@@ -178,6 +197,7 @@ impl Engine<'_, '_> {
 /// ```
 pub fn short_path_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    let _span = tm_telemetry::span!("spcf.short_path", target = target);
     let start = Instant::now();
     let mut engine = build_engine(netlist, sta, bdd);
 
@@ -187,12 +207,18 @@ pub fn short_path_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
         if sta.arrival(o) <= target {
             continue; // not a critical output
         }
+        let t0 = Instant::now();
         let s1 = engine.stab(o, qt, true);
         let s0 = engine.stab(o, qt, false);
         let settled = engine.bdd.or(s1, s0);
         let spcf = engine.bdd.not(settled);
+        tm_telemetry::histogram_record(
+            "spcf.short_path.output_ns",
+            t0.elapsed().as_nanos() as f64,
+        );
         outputs.push(OutputSpcf { output: o, spcf });
     }
+    engine.publish_metrics();
 
     SpcfSet {
         algorithm: Algorithm::ShortPath,
@@ -217,7 +243,9 @@ pub fn short_path_spcf_of_net(
     let s1 = engine.stab(net, qt, true);
     let s0 = engine.stab(net, qt, false);
     let settled = engine.bdd.or(s1, s0);
-    engine.bdd.not(settled)
+    let r = engine.bdd.not(settled);
+    engine.publish_metrics();
+    r
 }
 
 /// Builds the shared recursion state: cached gate primes, worst- and
@@ -262,6 +290,9 @@ fn build_engine<'a, 'b>(netlist: &'a Netlist, sta: &Sta<'a>, bdd: &'b mut Bdd) -
         min_arrivals_q,
         gate_info,
         memo: HashMap::new(),
+        stab_calls: 0,
+        memo_hits: 0,
+        memo_misses: 0,
     }
 }
 

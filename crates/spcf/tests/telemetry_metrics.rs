@@ -1,0 +1,94 @@
+//! Telemetry-backed regression tests for the SPCF engines' cost model:
+//! the short-path algorithm's memoization must actually pay off against
+//! the path-based engine's full waveform materialization (the Table 1
+//! runtime claim, asserted on counters instead of wall clock).
+
+use std::sync::Arc;
+use tm_logic::Bdd;
+use tm_netlist::circuits::comparator2;
+use tm_netlist::generate::{generate, GeneratorSpec};
+use tm_netlist::library::lsi10k_like;
+use tm_netlist::Delay;
+use tm_spcf::{path_based_spcf, short_path_spcf};
+use tm_sta::Sta;
+
+#[test]
+fn short_path_memoizes_and_beats_waveform_node_count() {
+    let lib = Arc::new(lsi10k_like());
+    // Six speed chains put several same-length tails on one shared NAND
+    // trunk, so multiple critical outputs query the trunk at identical
+    // quantized offsets — the (signal, time, phase) collisions the memo
+    // exists to catch. (With the default single chain only one output is
+    // ever critical and every memo key is unique.)
+    let mut spec = GeneratorSpec::sized("telem12", 12, 6, 90);
+    spec.speed_chains = 6;
+    spec.chain_extra_depth = 6;
+    let nl = generate(&spec, lib);
+    let sta = Sta::new(&nl);
+    let target = sta.critical_path_delay() * 0.9;
+
+    let _scope = tm_telemetry::Scope::enter();
+    let mut bdd = Bdd::new(nl.inputs().len());
+    let sp = short_path_spcf(&nl, &sta, &mut bdd, target);
+    let pb = path_based_spcf(&nl, &sta, &mut bdd, target);
+    assert!(!sp.outputs.is_empty(), "need critical outputs for a meaningful test");
+    for (a, b) in sp.outputs.iter().zip(&pb.outputs) {
+        assert_eq!(a.spcf, b.spcf, "exact engines must agree");
+    }
+
+    let snap = tm_telemetry::snapshot();
+    let hits = snap.counter("spcf.short_path.memo_hit").unwrap_or(0);
+    let misses = snap.counter("spcf.short_path.memo_miss").expect("misses recorded");
+    let waveform_nodes = snap
+        .counter("spcf.path_based.waveform_nodes")
+        .expect("waveform nodes recorded");
+
+    // Reconvergent fanout means the recursion revisits (signal, time,
+    // phase) triples: the memo must be earning hits.
+    assert!(hits > 0, "memo hit-rate is zero on a reconvergent netlist");
+
+    // The core §3 cost claim: short-path evaluates only the (signal,
+    // time, phase) points its target query reaches, strictly fewer than
+    // the breakpoints the path-based engine materializes for ALL times.
+    assert!(
+        misses < waveform_nodes,
+        "short-path evaluated {misses} stab points, \
+         path-based materialized only {waveform_nodes} waveform nodes"
+    );
+
+    // Sanity on the remaining engine counters.
+    let stab_calls = snap.counter("spcf.short_path.stab_calls").unwrap_or(0);
+    assert!(stab_calls >= hits + misses, "every memo probe is a stab call");
+    let entries = snap.gauge("spcf.short_path.memo_entries").expect("memo entries gauge");
+    assert_eq!(entries, misses as f64, "each miss inserts exactly one memo entry");
+}
+
+/// Golden metrics snapshot for the paper's Fig. 2 worked example
+/// (2-bit comparator, `Δ = 7`, `Δ_y = 6.3`). The engine's work on this
+/// tiny fixed circuit is fully deterministic, so the counters are pinned
+/// exactly: any drift means the recursion explores a different set of
+/// `(signal, time, phase)` points or the BDD manager allocates
+/// differently — both worth a deliberate review, not a silent pass.
+#[test]
+fn comparator2_golden_metrics() {
+    let lib = Arc::new(lsi10k_like());
+    let nl = comparator2(lib);
+    let sta = Sta::new(&nl);
+
+    let _scope = tm_telemetry::Scope::enter();
+    let mut bdd = Bdd::new(nl.inputs().len());
+    let set = short_path_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+    assert_eq!(set.critical_pattern_count(&bdd), 10.0, "paper: 10 of 16 patterns");
+
+    let snap = tm_telemetry::snapshot();
+    assert_eq!(
+        snap.gauge("logic.bdd.nodes"),
+        Some(bdd.node_count() as f64),
+        "gauge mirrors the live manager"
+    );
+    // 13 ROBDD nodes (terminals + 4 vars' worth of comparator logic),
+    // 8 memoized (signal, time, phase) points, 18 stab() invocations.
+    assert_eq!(snap.gauge("logic.bdd.nodes"), Some(13.0));
+    assert_eq!(snap.gauge("spcf.short_path.memo_entries"), Some(8.0));
+    assert_eq!(snap.counter("spcf.short_path.stab_calls"), Some(18));
+}

@@ -1,0 +1,57 @@
+//! Offline schema checker for emitted metrics reports.
+//!
+//! Usage: `validate_metrics <report.json>...` — parses each file with
+//! the in-repo JSON parser and validates it against the closed metric
+//! registry ([`tm_telemetry::schema`]). Exits nonzero listing every
+//! problem if any file is malformed or names an unregistered metric.
+
+use tm_telemetry::schema;
+use tm_testkit::json::Json;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_metrics <report.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let parsed = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("{path}: invalid JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match schema::validate(&parsed) {
+            Ok(()) => {
+                let n = |section: &str| {
+                    parsed.get(section).and_then(Json::as_arr).map_or(0, <[Json]>::len)
+                };
+                println!(
+                    "{path}: ok ({} spans, {} counters, {} gauges, {} histograms)",
+                    n("spans"),
+                    n("counters"),
+                    n("gauges"),
+                    n("histograms"),
+                );
+            }
+            Err(errs) => {
+                for e in &errs {
+                    eprintln!("{path}: {e}");
+                }
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,331 @@
+//! Named counters, gauges, and fixed-bucket histograms, with JSON
+//! snapshots.
+//!
+//! Metric names are `&'static str` in `crate.subsystem.metric` form and
+//! must be registered in [`crate::schema`] — the CI validator fails on
+//! names it does not know, so adding a metric means adding it to the
+//! schema in the same change. The hot path allocates nothing in steady
+//! state: names are static, histogram buckets are a fixed array, and a
+//! disabled thread returns after one branch.
+
+use crate::span::SpanStat as SpanStatInner;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use tm_testkit::json::Json;
+
+pub use crate::span::SpanStat;
+
+/// Histogram bucket upper bounds: 1–2–5 per decade over nine decades.
+/// Values above the last bound land in an overflow bucket rendered with
+/// `"le": null` (+∞). One shared layout keeps snapshots comparable
+/// across metrics and runs.
+pub const BUCKET_BOUNDS: [f64; 28] = [
+    1.0, 2.0, 5.0, 1e1, 2e1, 5e1, 1e2, 2e2, 5e2, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5,
+    1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+];
+
+/// A fixed-bucket histogram: per-bucket counts plus total count and sum.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramStat {
+    /// Counts per bound of [`BUCKET_BOUNDS`] (`buckets[i]` counts
+    /// values `v ≤ BUCKET_BOUNDS[i]` not counted by an earlier bucket).
+    pub buckets: [u64; BUCKET_BOUNDS.len()],
+    /// Values above the last bound.
+    pub overflow: u64,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+}
+
+impl HistogramStat {
+    fn record(&mut self, v: f64) {
+        match BUCKET_BOUNDS.iter().position(|&b| v <= b) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum += v;
+    }
+}
+
+/// One thread's metric state (spans live here too, so a [`crate::Scope`]
+/// swap isolates everything at once).
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) counters: HashMap<&'static str, u64>,
+    pub(crate) gauges: HashMap<&'static str, f64>,
+    pub(crate) histograms: HashMap<&'static str, HistogramStat>,
+    pub(crate) spans: HashMap<&'static str, SpanStatInner>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Swaps the current thread's registry, returning the old one
+/// (the mechanism behind [`crate::Scope`]).
+pub(crate) fn swap_registry(new: Registry) -> Registry {
+    REGISTRY.with(|r| std::mem::replace(&mut *r.borrow_mut(), new))
+}
+
+pub(crate) fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    REGISTRY.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Adds `n` to the counter `name` (saturating — counters never wrap).
+/// No-op while collection is disabled on this thread.
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| {
+        let c = r.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(n);
+    });
+}
+
+/// Sets the gauge `name` to `v` (last write wins). No-op while
+/// collection is disabled on this thread.
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.gauges.insert(name, v);
+    });
+}
+
+/// Records `v` into the histogram `name`. No-op while collection is
+/// disabled on this thread.
+#[inline]
+pub fn histogram_record(name: &'static str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| r.histograms.entry(name).or_default().record(v));
+}
+
+/// Clears the current thread's registry.
+pub fn reset() {
+    with_registry(|r| *r = Registry::default());
+}
+
+/// A point-in-time copy of the current thread's metrics, ordered by
+/// name for deterministic rendering.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` counters.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, stat)` histograms.
+    pub histograms: Vec<(String, HistogramStat)>,
+    /// Aggregated span statistics.
+    pub spans: Vec<SpanStat>,
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// The value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The stats of a histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The aggregated stats of a span, if recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the snapshot as the workspace's metrics-report JSON
+    /// (validated by [`crate::schema::validate`]).
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("name", Json::str(s.name.clone())),
+                    ("calls", Json::Num(s.calls as f64)),
+                    ("total_ns", Json::Num(s.total_ns as f64)),
+                    ("self_ns", Json::Num(s.self_ns as f64)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| {
+                Json::obj([("name", Json::str(n.clone())), ("value", Json::Num(*v as f64))])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| Json::obj([("name", Json::str(n.clone())), ("value", Json::Num(*v))]))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let mut buckets: Vec<Json> = BUCKET_BOUNDS
+                    .iter()
+                    .zip(&h.buckets)
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(&le, &c)| {
+                        Json::obj([("le", Json::Num(le)), ("count", Json::Num(c as f64))])
+                    })
+                    .collect();
+                if h.overflow > 0 {
+                    buckets.push(Json::obj([
+                        ("le", Json::Null),
+                        ("count", Json::Num(h.overflow as f64)),
+                    ]));
+                }
+                Json::obj([
+                    ("name", Json::str(n.clone())),
+                    ("count", Json::Num(h.count as f64)),
+                    ("sum", Json::Num(h.sum)),
+                    ("buckets", Json::Arr(buckets)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema_version", Json::Num(crate::schema::SCHEMA_VERSION as f64)),
+            ("spans", Json::Arr(spans)),
+            ("counters", Json::Arr(counters)),
+            ("gauges", Json::Arr(gauges)),
+            ("histograms", Json::Arr(histograms)),
+        ])
+    }
+}
+
+/// Copies the current thread's metrics into a [`Snapshot`]. Works
+/// whether or not collection is enabled (a disabled thread yields an
+/// empty report).
+pub fn snapshot() -> Snapshot {
+    with_registry(|r| {
+        let mut counters: Vec<(String, u64)> =
+            r.counters.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        counters.sort();
+        let mut gauges: Vec<(String, f64)> =
+            r.gauges.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramStat)> =
+            r.histograms.iter().map(|(n, h)| (n.to_string(), h.clone())).collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut spans: Vec<SpanStat> = r.spans.values().cloned().collect();
+        spans.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { counters, gauges, histograms, spans }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scope;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let _scope = Scope::enter();
+        counter_add("sim.timing.events", 2);
+        counter_add("sim.timing.events", 3);
+        assert_eq!(snapshot().counter("sim.timing.events"), Some(5));
+        counter_add("sim.timing.events", u64::MAX);
+        assert_eq!(
+            snapshot().counter("sim.timing.events"),
+            Some(u64::MAX),
+            "counter overflow must saturate, not wrap"
+        );
+    }
+
+    #[test]
+    fn gauges_keep_last_write() {
+        let _scope = Scope::enter();
+        gauge_set("logic.bdd.nodes", 10.0);
+        gauge_set("logic.bdd.nodes", 7.0);
+        assert_eq!(snapshot().gauge("logic.bdd.nodes"), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let _scope = Scope::enter();
+        // Exactly on a bound → that bucket; just above → the next.
+        histogram_record("spcf.short_path.output_ns", 1.0);
+        histogram_record("spcf.short_path.output_ns", 1.5);
+        histogram_record("spcf.short_path.output_ns", 2.0);
+        histogram_record("spcf.short_path.output_ns", 2.0001);
+        histogram_record("spcf.short_path.output_ns", 1e9);
+        histogram_record("spcf.short_path.output_ns", 1e9 + 1.0);
+        let snap = snapshot();
+        let h = snap.histogram("spcf.short_path.output_ns").expect("recorded");
+        assert_eq!(h.buckets[0], 1, "v=1.0 lands in le=1");
+        assert_eq!(h.buckets[1], 2, "v=1.5 and v=2.0 land in le=2");
+        assert_eq!(h.buckets[2], 1, "v=2.0001 lands in le=5");
+        assert_eq!(h.buckets[BUCKET_BOUNDS.len() - 1], 1, "v=1e9 lands in the last bucket");
+        assert_eq!(h.overflow, 1, "v>1e9 lands in the overflow bucket");
+        assert_eq!(h.count, 6);
+        let expect_sum = 1.0 + 1.5 + 2.0 + 2.0001 + 1e9 + (1e9 + 1.0);
+        assert!((h.sum - expect_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_orders_by_name() {
+        let _scope = Scope::enter();
+        counter_add("spcf.short_path.memo_miss", 1);
+        counter_add("logic.bdd.ite_cache_hit", 1);
+        counter_add("monitor.trace.dropped", 1);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "logic.bdd.ite_cache_hit",
+                "monitor.trace.dropped",
+                "spcf.short_path.memo_miss"
+            ]
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_parser_and_schema() {
+        let _scope = Scope::enter();
+        counter_add("logic.bdd.unique_hit", 41);
+        gauge_set("spcf.short_path.memo_entries", 12.0);
+        histogram_record("spcf.path_based.output_ns", 1234.0);
+        histogram_record("spcf.path_based.output_ns", 2e12); // overflow
+        {
+            let _outer = crate::span!("masking.synthesize");
+            let _inner = crate::span!("masking.spcf");
+        }
+        let rendered = snapshot().to_json().render();
+        let parsed = Json::parse(&rendered).expect("report parses");
+        crate::schema::validate(&parsed).expect("report is schema-valid");
+        // The parsed tree carries the same values the snapshot had.
+        let counters = parsed.get("counters").and_then(Json::as_arr).expect("counters");
+        assert_eq!(counters[0].get("name").and_then(Json::as_str), Some("logic.bdd.unique_hit"));
+        assert_eq!(counters[0].get("value").and_then(Json::as_num), Some(41.0));
+        let hists = parsed.get("histograms").and_then(Json::as_arr).expect("histograms");
+        let buckets = hists[0].get("buckets").and_then(Json::as_arr).expect("buckets");
+        assert_eq!(buckets.last().and_then(|b| b.get("le")), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,303 @@
+//! The closed registry of metric and span names used across the
+//! workspace, and an offline validator for emitted JSON reports.
+//!
+//! Names follow `crate.subsystem.metric` (lowercase, `.`-separated,
+//! `[a-z0-9_]` segments). The registry is *closed*: a report naming a
+//! metric or span not listed here fails validation, so instrumentation
+//! and this file must move together — that is what keeps dashboards
+//! and CI assertions from silently drifting when a counter is renamed.
+
+use tm_testkit::json::Json;
+
+/// Version stamped into every report under `schema_version`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The kind of a registered metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic saturating `u64` sum.
+    Counter,
+    /// Last-write-wins `f64` level.
+    Gauge,
+    /// Fixed-bucket distribution (see [`crate::BUCKET_BOUNDS`]).
+    Histogram,
+}
+
+/// Every metric name the workspace may emit, with its kind.
+pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
+    // tm-logic: ROBDD manager.
+    ("logic.bdd.ite_cache_hit", MetricKind::Counter),
+    ("logic.bdd.ite_cache_miss", MetricKind::Counter),
+    ("logic.bdd.unique_hit", MetricKind::Counter),
+    ("logic.bdd.unique_miss", MetricKind::Counter),
+    ("logic.bdd.op_cache_clears", MetricKind::Counter),
+    ("logic.bdd.nodes", MetricKind::Gauge),
+    ("logic.bdd.unique_entries", MetricKind::Gauge),
+    // tm-spcf: the three SPCF engines.
+    ("spcf.short_path.memo_hit", MetricKind::Counter),
+    ("spcf.short_path.memo_miss", MetricKind::Counter),
+    ("spcf.short_path.stab_calls", MetricKind::Counter),
+    ("spcf.short_path.memo_entries", MetricKind::Gauge),
+    ("spcf.short_path.output_ns", MetricKind::Histogram),
+    ("spcf.path_based.waveform_nodes", MetricKind::Counter),
+    ("spcf.path_based.output_ns", MetricKind::Histogram),
+    ("spcf.node_based.critical_gates", MetricKind::Counter),
+    ("spcf.node_based.output_ns", MetricKind::Histogram),
+    // tm-core: masking synthesis and verification.
+    ("masking.synth.cubes_considered", MetricKind::Counter),
+    ("masking.synth.cubes_kept", MetricKind::Counter),
+    ("masking.synth.selection_rounds", MetricKind::Counter),
+    ("masking.synth.nodes_masked", MetricKind::Counter),
+    ("masking.verify.outputs_checked", MetricKind::Counter),
+    // tm-sim: event-driven timing simulation.
+    ("sim.timing.events", MetricKind::Counter),
+    ("sim.timing.transitions", MetricKind::Counter),
+    // tm-monitor: trace capture.
+    ("monitor.trace.captured", MetricKind::Counter),
+    ("monitor.trace.dropped", MetricKind::Counter),
+];
+
+/// Every span name the workspace may open.
+pub const KNOWN_SPANS: &[&str] = &[
+    "spcf.short_path",
+    "spcf.path_based",
+    "spcf.node_based",
+    "masking.synthesize",
+    "masking.spcf",
+    "masking.extract",
+    "masking.covers",
+    "masking.map",
+    "masking.slack",
+    "masking.verify",
+    "monitor.trace.session",
+];
+
+/// Looks up a registered metric's kind.
+pub fn metric_kind(name: &str) -> Option<MetricKind> {
+    KNOWN_METRICS.iter().find(|(n, _)| *n == name).map(|(_, k)| *k)
+}
+
+/// Whether `name` is a registered span.
+pub fn is_known_span(name: &str) -> bool {
+    KNOWN_SPANS.contains(&name)
+}
+
+fn well_formed_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').count() >= 2
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
+/// Validates a parsed metrics report against the schema.
+///
+/// Checks: the top-level structure (`schema_version`, `spans`,
+/// `counters`, `gauges`, `histograms` arrays with the expected per-entry
+/// fields), that every name is well-formed and registered above with
+/// the right kind, and histogram internals (bucket counts sum to
+/// `count`, `le` bounds strictly increasing with an optional trailing
+/// `null` overflow bucket). Returns every problem found, not just the
+/// first.
+pub fn validate(report: &Json) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+
+    match report.get("schema_version").and_then(Json::as_num) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => errs.push(format!("schema_version {v} != {SCHEMA_VERSION}")),
+        None => errs.push("missing numeric schema_version".to_string()),
+    }
+
+    for section in ["spans", "counters", "gauges", "histograms"] {
+        if report.get(section).and_then(Json::as_arr).is_none() {
+            errs.push(format!("missing array section `{section}`"));
+        }
+    }
+    if !errs.is_empty() && report.get("spans").is_none() {
+        return Err(errs);
+    }
+
+    for entry in report.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
+        check_name(&mut errs, entry, "spans", None);
+        for field in ["calls", "total_ns", "self_ns"] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                errs.push(format!("spans: entry missing numeric `{field}`"));
+            }
+        }
+        if let (Some(t), Some(s)) = (
+            entry.get("total_ns").and_then(Json::as_num),
+            entry.get("self_ns").and_then(Json::as_num),
+        ) {
+            if s > t {
+                errs.push(format!("spans: self_ns {s} > total_ns {t}"));
+            }
+        }
+    }
+
+    for entry in report.get("counters").and_then(Json::as_arr).unwrap_or(&[]) {
+        check_name(&mut errs, entry, "counters", Some(MetricKind::Counter));
+        if entry.get("value").and_then(Json::as_num).is_none() {
+            errs.push("counters: entry missing numeric `value`".to_string());
+        }
+    }
+
+    for entry in report.get("gauges").and_then(Json::as_arr).unwrap_or(&[]) {
+        check_name(&mut errs, entry, "gauges", Some(MetricKind::Gauge));
+        if entry.get("value").and_then(Json::as_num).is_none() {
+            errs.push("gauges: entry missing numeric `value`".to_string());
+        }
+    }
+
+    for entry in report.get("histograms").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = check_name(&mut errs, entry, "histograms", Some(MetricKind::Histogram))
+            .unwrap_or_else(|| "<unnamed>".to_string());
+        let count = entry.get("count").and_then(Json::as_num);
+        if count.is_none() {
+            errs.push(format!("histograms: `{name}` missing numeric `count`"));
+        }
+        if entry.get("sum").and_then(Json::as_num).is_none() {
+            errs.push(format!("histograms: `{name}` missing numeric `sum`"));
+        }
+        let Some(buckets) = entry.get("buckets").and_then(Json::as_arr) else {
+            errs.push(format!("histograms: `{name}` missing `buckets` array"));
+            continue;
+        };
+        let mut bucket_total = 0.0;
+        let mut prev_le = f64::NEG_INFINITY;
+        for (i, b) in buckets.iter().enumerate() {
+            match b.get("count").and_then(Json::as_num) {
+                Some(c) => bucket_total += c,
+                None => errs.push(format!("histograms: `{name}` bucket {i} missing `count`")),
+            }
+            match b.get("le") {
+                Some(Json::Null) => {
+                    if i + 1 != buckets.len() {
+                        errs.push(format!(
+                            "histograms: `{name}` overflow bucket (le: null) not last"
+                        ));
+                    }
+                }
+                Some(j) => match j.as_num() {
+                    Some(le) if le > prev_le => prev_le = le,
+                    Some(le) => errs.push(format!(
+                        "histograms: `{name}` bucket bounds not increasing at le={le}"
+                    )),
+                    None => errs.push(format!("histograms: `{name}` bucket {i} bad `le`")),
+                },
+                None => errs.push(format!("histograms: `{name}` bucket {i} missing `le`")),
+            }
+        }
+        if let Some(c) = count {
+            if (bucket_total - c).abs() > 0.5 {
+                errs.push(format!(
+                    "histograms: `{name}` bucket counts sum to {bucket_total}, count is {c}"
+                ));
+            }
+        }
+    }
+
+    if errs.is_empty() { Ok(()) } else { Err(errs) }
+}
+
+/// Checks one entry's `name` field: present, well-formed, registered
+/// with the right kind (`want = None` means a span). Returns the name
+/// when present so callers can cite it in further errors.
+fn check_name(
+    errs: &mut Vec<String>,
+    entry: &Json,
+    section: &str,
+    want: Option<MetricKind>,
+) -> Option<String> {
+    let Some(name) = entry.get("name").and_then(Json::as_str) else {
+        errs.push(format!("{section}: entry without a string `name`"));
+        return None;
+    };
+    if !well_formed_name(name) {
+        errs.push(format!("{section}: malformed name `{name}`"));
+    }
+    match want {
+        None => {
+            if !is_known_span(name) {
+                errs.push(format!("{section}: unknown span `{name}`"));
+            }
+        }
+        Some(kind) => match metric_kind(name) {
+            Some(k) if k == kind => {}
+            Some(k) => errs.push(format!(
+                "{section}: `{name}` is registered as {k:?}, emitted as {kind:?}"
+            )),
+            None => errs.push(format!("{section}: unknown metric `{name}`")),
+        },
+    }
+    Some(name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_well_formed_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for (name, _) in KNOWN_METRICS {
+            assert!(well_formed_name(name), "malformed metric name {name}");
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+        }
+        for name in KNOWN_SPANS {
+            assert!(well_formed_name(name), "malformed span name {name}");
+            assert!(seen.insert(*name), "span name collides: {name}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_and_miskinded_names() {
+        let report = Json::parse(
+            r#"{"schema_version": 1,
+                "spans": [{"name": "spcf.bogus", "calls": 1, "total_ns": 5, "self_ns": 5}],
+                "counters": [{"name": "logic.bdd.nodes", "value": 3}],
+                "gauges": [],
+                "histograms": []}"#,
+        )
+        .unwrap();
+        let errs = validate(&report).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("unknown span `spcf.bogus`")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("registered as Gauge")),
+            "counter/gauge kind mismatch must be flagged: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_self_exceeding_total_and_bad_buckets() {
+        let report = Json::parse(
+            r#"{"schema_version": 1,
+                "spans": [{"name": "spcf.short_path", "calls": 1, "total_ns": 5, "self_ns": 9}],
+                "counters": [],
+                "gauges": [],
+                "histograms": [{"name": "spcf.short_path.output_ns", "count": 2, "sum": 30,
+                                "buckets": [{"le": 10, "count": 1}, {"le": 10, "count": 2}]}]}"#,
+        )
+        .unwrap();
+        let errs = validate(&report).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("self_ns 9 > total_ns 5")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("not increasing")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("sum to 3")), "{errs:?}");
+    }
+
+    #[test]
+    fn accepts_a_real_snapshot() {
+        let _scope = crate::Scope::enter();
+        crate::counter_add("spcf.short_path.memo_hit", 7);
+        crate::gauge_set("logic.bdd.nodes", 42.0);
+        crate::histogram_record("spcf.short_path.output_ns", 1234.0);
+        crate::histogram_record("spcf.short_path.output_ns", 5e12); // overflow bucket
+        {
+            let _span = crate::span!("spcf.short_path");
+        }
+        let json = crate::snapshot().to_json();
+        validate(&json).expect("live snapshot validates");
+        let reparsed = Json::parse(&json.render()).expect("round-trips");
+        validate(&reparsed).expect("re-parsed snapshot validates");
+    }
+}

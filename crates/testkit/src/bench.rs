@@ -100,9 +100,10 @@ impl BenchGroup {
         }
     }
 
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (minimum 1 — a
+    /// single sample is a smoke run, not a measurement).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        self.sample_size = n.max(1);
         self
     }
 
@@ -181,22 +182,25 @@ impl BenchGroup {
     }
 }
 
-/// Default report directory: `target/tm-bench` under the *workspace*
+/// The workspace root: the outermost ancestor of the current directory
+/// holding a `Cargo.lock`. Cargo runs test and bench binaries with the
+/// *package* directory as CWD, so relative output paths should be
+/// resolved against this instead.
+pub fn workspace_root() -> Option<std::path::PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    cwd.ancestors()
+        .filter(|a| a.join("Cargo.lock").is_file())
+        .last()
+        .map(std::path::Path::to_path_buf)
+}
+
+/// Default report directory: `target/tm-bench` under the workspace
 /// root, so reports from every crate's benches land in one place.
-/// Cargo runs bench binaries with the package directory as CWD, so walk
-/// up to the outermost `Cargo.lock` before falling back to a relative
-/// path.
 fn default_report_dir() -> String {
-    if let Ok(cwd) = std::env::current_dir() {
-        let root = cwd
-            .ancestors()
-            .filter(|a| a.join("Cargo.lock").is_file())
-            .last();
-        if let Some(root) = root {
-            return root.join("target/tm-bench").to_string_lossy().into_owned();
-        }
+    match workspace_root() {
+        Some(root) => root.join("target/tm-bench").to_string_lossy().into_owned(),
+        None => "target/tm-bench".to_string(),
     }
-    "target/tm-bench".to_string()
 }
 
 fn fmt_ns(ns: f64) -> String {

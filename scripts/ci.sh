@@ -6,6 +6,10 @@
 #    no registry (crates.io or mirror) or git sources, ever.
 # 2. Build and test the whole workspace with `--offline`, proving the
 #    tree compiles and passes with no network and no registry cache.
+# 3. Smoke-run the SPCF bench with telemetry enabled and validate the
+#    emitted metrics snapshot against the closed schema registry
+#    (unknown metric names, malformed histograms, or a schema-version
+#    bump all fail CI here, not in a downstream dashboard).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,5 +34,13 @@ cargo build --release --offline --workspace --all-targets
 
 echo "== offline workspace tests =="
 cargo test -q --offline --workspace
+
+echo "== telemetry smoke bench + schema validation =="
+metrics_json=target/tm-bench/ci-spcf-metrics.json
+rm -f "$metrics_json"
+cargo bench -q --offline -p tm-bench --bench spcf_algorithms -- \
+    --samples 1 --smoke --metrics-out "$metrics_json"
+test -s "$metrics_json" || { echo "ERROR: bench wrote no metrics snapshot" >&2; exit 1; }
+cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- "$metrics_json"
 
 echo "CI OK"

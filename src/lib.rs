@@ -40,6 +40,7 @@ pub use tm_netlist as netlist;
 pub use tm_sim as sim;
 pub use tm_spcf as spcf;
 pub use tm_sta as sta;
+pub use tm_telemetry as telemetry;
 
 pub use tm_masking::{synthesize, MaskingOptions, MaskingResult};
 pub use tm_netlist::Delay;
