@@ -28,16 +28,17 @@ fn main() {
         ..Default::default()
     };
     group.bench("wearout_lifetime_4_epochs", || {
-        black_box(run_lifetime(&design, &config).len())
+        black_box(run_lifetime(&design, &config).expect("valid config").len())
     });
 
     let session = DebugSession::new(&design);
-    let scale = uniform_aging(&design, 1.0);
+    let scale = uniform_aging(&design, 1.0).expect("valid factor");
     let vectors = random_vectors(nl.inputs().len(), 500, 3);
     group.bench("trace_session_selective", || {
         black_box(
             session
                 .run(&scale, &vectors, 32, CapturePolicy::OnSpeedPath)
+                .expect("valid session")
                 .window,
         )
     });

@@ -76,14 +76,12 @@ fn main() {
         let proposed = synthesize(nl, MaskingOptions::default());
         let clock = Sta::new(nl).critical_path_delay();
         let vectors = random_vectors(nl.inputs().len(), 400, 7);
-        let dup_out =
-            inject_and_measure(&dup.design, &uniform_aging(&dup.design, 1.08), clock, &vectors);
-        let prop_out = inject_and_measure(
-            &proposed.design,
-            &uniform_aging(&proposed.design, 1.08),
-            clock,
-            &vectors,
-        );
+        let dup_scale = uniform_aging(&dup.design, 1.08).expect("valid factor");
+        let dup_out = inject_and_measure(&dup.design, &dup_scale, clock, &vectors)
+            .expect("valid run");
+        let prop_scale = uniform_aging(&proposed.design, 1.08).expect("valid factor");
+        let prop_out = inject_and_measure(&proposed.design, &prop_scale, clock, &vectors)
+            .expect("valid run");
         println!(
             "{:<12} {:>13.1}% {:>14.1}% {:>12}/{:<5} {:>12}/{:<5}",
             nl.name(),

@@ -45,7 +45,7 @@ fn main() {
     // ---------------------------------------------------------------
     println!("\n== Extension 1: aggressive DVS by masking timing errors (paper §6) ==");
     let explorer = DvsExplorer { v_min: 0.82, v_step: 0.01, ..Default::default() };
-    let sweep = explorer.sweep(&result.design, &workload);
+    let sweep = explorer.sweep(&result.design, &workload).expect("valid sweep");
     println!("  vdd    delay×   energy×   raw errs   escapes");
     for p in sweep.points.iter().step_by(2) {
         println!(
@@ -74,7 +74,8 @@ fn main() {
         let factor = 1.0 + pct as f64 / 100.0;
         let r = razor.evaluate(&circuit, &vec![factor; circuit.num_gates()], clock, &workload);
         let scale = vec![factor; result.design.combined.num_gates()];
-        let m = inject_and_measure(&result.design, &scale, clock, &workload);
+        let m = inject_and_measure(&result.design, &scale, clock, &workload)
+            .expect("valid run");
         println!(
             "  {:>4}%   {:>14} {:>13} {:>17.3} | {:>14}  {:>17.3}",
             pct,

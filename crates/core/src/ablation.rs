@@ -16,7 +16,7 @@
 
 use crate::options::MaskingOptions;
 use crate::report::MaskingReport;
-use crate::synth::{assemble_masked_design, MaskingResult};
+use crate::synth::{assemble_masked_design, DegradationLevel, MaskingResult};
 use std::collections::HashMap;
 use std::time::Instant;
 use tm_logic::Bdd;
@@ -63,6 +63,7 @@ pub fn duplication_masking(netlist: &Netlist, options: MaskingOptions) -> Maskin
             delta,
             target,
             options.slack_fraction,
+            DegradationLevel::Exact,
             start.elapsed(),
         );
         return MaskingResult { design, bdd, spcf, report };
@@ -113,6 +114,7 @@ pub fn duplication_masking(netlist: &Netlist, options: MaskingOptions) -> Maskin
         delta,
         target,
         options.slack_fraction,
+        DegradationLevel::Exact,
         start.elapsed(),
     );
     MaskingResult { design, bdd, spcf, report }
@@ -151,14 +153,12 @@ mod tests {
         let clock = Sta::new(&nl).critical_path_delay();
         let vectors = random_vectors(4, 500, 99);
         // Common-mode wearout: everything (original + masking) ages 8%.
-        let dup_out =
-            inject_and_measure(&dup.design, &uniform_aging(&dup.design, 1.08), clock, &vectors);
-        let prop_out = inject_and_measure(
-            &proposed.design,
-            &uniform_aging(&proposed.design, 1.08),
-            clock,
-            &vectors,
-        );
+        let dup_scale = uniform_aging(&dup.design, 1.08).expect("valid factor");
+        let dup_out = inject_and_measure(&dup.design, &dup_scale, clock, &vectors)
+            .expect("valid run");
+        let prop_scale = uniform_aging(&proposed.design, 1.08).expect("valid factor");
+        let prop_out = inject_and_measure(&proposed.design, &prop_scale, clock, &vectors)
+            .expect("valid run");
         assert!(dup_out.raw_errors > 0);
         // The duplicate is as late as the original: errors escape.
         assert!(

@@ -12,6 +12,7 @@
 
 use crate::design::MaskedDesign;
 use tm_netlist::{Delay, Netlist};
+use tm_resilience::{TmError, TmResult};
 use tm_sim::timing::TimingSim;
 
 /// Counters from one injection run.
@@ -30,52 +31,98 @@ pub struct InjectionOutcome {
 }
 
 impl InjectionOutcome {
-    /// Fraction of raw errors hidden by masking (1.0 when none escape).
+    /// Fraction of raw errors hidden by masking, in `[0, 1]`.
+    ///
+    /// A run with no raw errors (including a zero-cycle run) reports
+    /// 1.0 — nothing escaped. More masked than raw errors (possible
+    /// when masking hardware itself mis-samples on cycles whose raw
+    /// outputs were clean) clamps to 0.0 rather than going negative.
     pub fn masking_effectiveness(&self) -> f64 {
         if self.raw_errors == 0 {
             1.0
         } else {
-            1.0 - self.masked_errors as f64 / self.raw_errors as f64
+            (1.0 - self.masked_errors as f64 / self.raw_errors as f64).clamp(0.0, 1.0)
         }
     }
+}
+
+/// Validates a per-gate delay scale factor: aging can only be a finite,
+/// positive multiplier.
+fn check_scale_factor(factor: f64) -> TmResult<()> {
+    if !factor.is_finite() || factor <= 0.0 {
+        return Err(TmError::invalid_input(format!(
+            "aging factor must be finite and positive, got {factor}"
+        )));
+    }
+    Ok(())
 }
 
 /// Builds per-gate delay scale factors for the *combined* netlist that
 /// age every gate of the design by `factor` (original, masking and MUX
 /// gates alike — the masking circuit's ≥ 20 % slack is what lets it ride
 /// out the same wearout).
-pub fn uniform_aging(design: &MaskedDesign, factor: f64) -> Vec<f64> {
-    assert!(factor > 0.0, "aging factor must be positive");
-    vec![factor; design.combined.num_gates()]
+///
+/// # Errors
+///
+/// Returns [`TmError`] when `factor` is non-finite (NaN, ±∞) or not
+/// positive.
+pub fn uniform_aging(design: &MaskedDesign, factor: f64) -> TmResult<Vec<f64>> {
+    check_scale_factor(factor)?;
+    Ok(vec![factor; design.combined.num_gates()])
 }
 
 /// Ages only the original logic (e.g. to model speed-path-local NBTI),
 /// leaving the masking circuit and MUXes fresh.
-pub fn original_only_aging(design: &MaskedDesign, factor: f64) -> Vec<f64> {
-    assert!(factor > 0.0, "aging factor must be positive");
+///
+/// # Errors
+///
+/// Returns [`TmError`] when `factor` is non-finite (NaN, ±∞) or not
+/// positive.
+pub fn original_only_aging(design: &MaskedDesign, factor: f64) -> TmResult<Vec<f64>> {
+    check_scale_factor(factor)?;
     let (orig, _mask, _mux) = design.combined_partition();
-    (0..design.combined.num_gates())
+    Ok((0..design.combined.num_gates())
         .map(|g| if orig.contains(&g) { factor } else { 1.0 })
-        .collect()
+        .collect())
 }
 
 /// Replays `vectors` as consecutive clock cycles of period `clock`
 /// through the aged combined netlist and counts raw vs masked timing
-/// errors.
+/// errors. Fewer than two vectors means zero cycles: the outcome is
+/// all-zero counters (and `masking_effectiveness()` of 1.0), not an
+/// error.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `scale` does not have one entry per combined-netlist gate
-/// or vectors have the wrong arity.
+/// Returns [`TmError`] when `scale` does not have one finite positive
+/// entry per combined-netlist gate, or a vector's arity differs from
+/// the input count.
 pub fn inject_and_measure(
     design: &MaskedDesign,
     scale: &[f64],
     clock: Delay,
     vectors: &[Vec<bool>],
-) -> InjectionOutcome {
+) -> TmResult<InjectionOutcome> {
     let (instrumented, probes) = design.instrumented();
     // The instrumented netlist has the same gates as the combined one.
-    assert_eq!(scale.len(), instrumented.num_gates(), "one scale factor per gate");
+    if scale.len() != instrumented.num_gates() {
+        return Err(TmError::invalid_input(format!(
+            "one scale factor per gate: got {}, netlist has {}",
+            scale.len(),
+            instrumented.num_gates()
+        )));
+    }
+    for &f in scale {
+        check_scale_factor(f)?;
+    }
+    let arity = instrumented.inputs().len();
+    if let Some(bad) = vectors.iter().find(|v| v.len() != arity) {
+        return Err(TmError::invalid_input(format!(
+            "workload vector arity {} does not match {} primary inputs",
+            bad.len(),
+            arity
+        )));
+    }
     let sim = TimingSim::with_scale(&instrumented, scale.to_vec());
 
     // The MUXed outputs are captured one (aged) MUX delay after the
@@ -121,7 +168,7 @@ pub fn inject_and_measure(
             outcome.activations += 1;
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 /// Convenience: the instrumented netlist used by
@@ -182,9 +229,9 @@ mod tests {
         let clock = Sta::new(&nl).critical_path_delay(); // 7 units
         // 8% aging: the 7-unit speed-paths slip past the clock (7.56),
         // everything at ≤ 6.3 stays inside (6.8).
-        let scale = uniform_aging(&r.design, 1.08);
+        let scale = uniform_aging(&r.design, 1.08).expect("valid factor");
         let vectors = random_vectors(4, 400, 11);
-        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors);
+        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors).expect("valid run");
         assert!(outcome.raw_errors > 0, "aging should produce raw errors");
         assert_eq!(outcome.masked_errors, 0, "{outcome:?}");
         assert!(outcome.activations >= outcome.raw_errors);
@@ -196,9 +243,9 @@ mod tests {
         let nl = comparator2(Arc::new(lsi10k_like()));
         let r = synthesize(&nl, MaskingOptions::default());
         let clock = Sta::new(&nl).critical_path_delay();
-        let scale = uniform_aging(&r.design, 1.0);
+        let scale = uniform_aging(&r.design, 1.0).expect("valid factor");
         let vectors = random_vectors(4, 200, 3);
-        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors);
+        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors).expect("valid run");
         assert_eq!(outcome.raw_errors, 0);
         assert_eq!(outcome.masked_errors, 0);
     }
@@ -208,10 +255,65 @@ mod tests {
         let nl = comparator2(Arc::new(lsi10k_like()));
         let r = synthesize(&nl, MaskingOptions::default());
         let clock = Sta::new(&nl).critical_path_delay();
-        let scale = original_only_aging(&r.design, 1.09);
+        let scale = original_only_aging(&r.design, 1.09).expect("valid factor");
         let vectors = random_vectors(4, 400, 23);
-        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors);
+        let outcome = inject_and_measure(&r.design, &scale, clock, &vectors).expect("valid run");
         assert!(outcome.raw_errors > 0);
         assert_eq!(outcome.masked_errors, 0, "{outcome:?}");
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_factors_rejected() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let r = synthesize(&nl, MaskingOptions::default());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            assert!(uniform_aging(&r.design, bad).is_err(), "factor {bad} accepted");
+            assert!(original_only_aging(&r.design, bad).is_err(), "factor {bad} accepted");
+        }
+        // A poisoned entry inside an otherwise fine scale vector is
+        // caught too, not just the convenience constructors.
+        let mut scale = uniform_aging(&r.design, 1.0).unwrap();
+        scale[0] = f64::NAN;
+        let clock = Sta::new(&nl).critical_path_delay();
+        let err = inject_and_measure(&r.design, &scale, clock, &[]).expect_err("NaN scale");
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn zero_cycle_run_reports_cleanly() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let r = synthesize(&nl, MaskingOptions::default());
+        let clock = Sta::new(&nl).critical_path_delay();
+        let scale = uniform_aging(&r.design, 1.08).unwrap();
+        // Zero and one vector both mean zero transitions.
+        for vectors in [Vec::new(), vec![vec![false; 4]]] {
+            let outcome = inject_and_measure(&r.design, &scale, clock, &vectors).unwrap();
+            assert_eq!(outcome, InjectionOutcome::default());
+            assert_eq!(outcome.cycles, 0);
+            assert_eq!(outcome.masking_effectiveness(), 1.0);
+        }
+    }
+
+    #[test]
+    fn mismatched_arity_is_an_error_not_a_panic() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let r = synthesize(&nl, MaskingOptions::default());
+        let clock = Sta::new(&nl).critical_path_delay();
+        let scale = uniform_aging(&r.design, 1.0).unwrap();
+        // Short scale vector.
+        let err = inject_and_measure(&r.design, &scale[..1], clock, &[]).expect_err("short scale");
+        assert!(err.to_string().contains("scale factor"));
+        // Wrong vector arity.
+        let vectors = vec![vec![false; 3], vec![true; 3]];
+        let err = inject_and_measure(&r.design, &scale, clock, &vectors).expect_err("bad arity");
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn effectiveness_clamps_to_unit_interval() {
+        let more_masked = InjectionOutcome { cycles: 10, raw_errors: 1, masked_errors: 3, activations: 3 };
+        assert_eq!(more_masked.masking_effectiveness(), 0.0);
+        let clean = InjectionOutcome::default();
+        assert_eq!(clean.masking_effectiveness(), 1.0);
     }
 }

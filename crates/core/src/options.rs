@@ -2,6 +2,7 @@
 
 use tm_netlist::extract::ExtractOptions;
 use tm_netlist::map::MapOptions;
+use tm_resilience::Budget;
 
 /// How node covers are pruned against the SPCF.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +35,11 @@ pub struct MaskingOptions {
     pub cube_selection: CubeSelection,
     /// Maximum gate-sizing iterations when enforcing the slack budget.
     pub sizing_iterations: usize,
+    /// Computation budget for the SPCF construction. When a rung of the
+    /// engine ladder exhausts it, [`crate::synthesize`] steps down to a
+    /// coarser — but still sound — over-approximation instead of
+    /// running away (DESIGN.md §7). Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for MaskingOptions {
@@ -46,6 +52,7 @@ impl Default for MaskingOptions {
             and_tree_arity: 8,
             cube_selection: CubeSelection::EssentialWeight,
             sizing_iterations: 40,
+            budget: Budget::unlimited(),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Measurement of masked designs: the columns of the paper's Table 2.
 
 use crate::design::MaskedDesign;
+use crate::synth::DegradationLevel;
 use std::time::Duration;
 use tm_logic::Bdd;
 use tm_netlist::Delay;
@@ -46,6 +47,10 @@ pub struct MaskingReport {
     /// Dynamic power overhead under a random workload, percent
     /// (column 8).
     pub power_overhead_percent: f64,
+    /// How far the SPCF ladder degraded to fit the computation budget
+    /// ([`DegradationLevel::Exact`] when the paper's flow ran to
+    /// completion).
+    pub degradation: DegradationLevel,
     /// Wall-clock time of the whole synthesis.
     pub synthesis_time: Duration,
 }
@@ -62,6 +67,7 @@ impl MaskingReport {
         delta: Delay,
         target: Delay,
         slack_fraction: f64,
+        degradation: DegradationLevel,
         synthesis_time: Duration,
     ) -> Self {
         let original = &design.original;
@@ -102,13 +108,16 @@ impl MaskingReport {
             area_original: original.area(),
             area_overhead_percent: design.area_overhead() * 100.0,
             power_overhead_percent,
+            degradation,
             synthesis_time,
         }
     }
 
-    /// Formats the report as one row in the style of Table 2.
+    /// Formats the report as one row in the style of Table 2. Rows
+    /// whose SPCF degraded below exact are flagged, since their pattern
+    /// counts and areas reflect an over-approximation.
     pub fn table2_row(&self) -> String {
-        format!(
+        let mut row = format!(
             "{:<18} {:>4}/{:<4} {:>6} {:>9} {:>12.3e} {:>8.1} {:>7.1} {:>7.1}",
             self.circuit,
             self.num_inputs,
@@ -119,7 +128,11 @@ impl MaskingReport {
             self.slack_percent,
             self.area_overhead_percent,
             self.power_overhead_percent,
-        )
+        );
+        if self.degradation != DegradationLevel::Exact {
+            row.push_str(&format!("  [degraded: {}]", self.degradation));
+        }
+        row
     }
 }
 
@@ -148,6 +161,7 @@ mod tests {
             Delay::new(7.0),
             Delay::new(6.3),
             0.2,
+            DegradationLevel::Exact,
             Duration::ZERO,
         );
         assert_eq!(r.critical_outputs, 0);

@@ -32,8 +32,75 @@ use tm_netlist::extract::extract;
 use tm_netlist::map::tech_map;
 use tm_netlist::sop_network::{SigId, SigKind, SopNetwork};
 use tm_netlist::{Delay, NetId, Netlist};
-use tm_spcf::{short_path_spcf, SpcfSet};
+use tm_resilience::Budget;
+use tm_spcf::{conservative_spcf, try_node_based_spcf, try_short_path_spcf, SpcfSet};
 use tm_sta::Sta;
+
+/// How far the SPCF engine ladder had to degrade to fit the
+/// computation budget (DESIGN.md §7).
+///
+/// Every rung is *sound*: a coarser rung computes a superset of the
+/// exact SPCF, so the synthesized mask still covers every true
+/// speed-path activation pattern — degradation costs area, never
+/// correctness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationLevel {
+    /// The exact short-path SPCF fit the budget (the paper's flow).
+    Exact,
+    /// The exact engine exhausted the budget; the node-based
+    /// over-approximation (§3.1) was used instead.
+    NodeBased,
+    /// Even the node-based pass exhausted the budget; every pattern is
+    /// guarded on every structurally critical output (duplication-level
+    /// area, full coverage).
+    Conservative,
+}
+
+impl std::fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradationLevel::Exact => "exact",
+            DegradationLevel::NodeBased => "node_based",
+            DegradationLevel::Conservative => "conservative",
+        })
+    }
+}
+
+/// Runs the SPCF engine ladder: exact short-path → node-based
+/// over-approximation → guard-everything, stepping down only when the
+/// budget is exhausted. Each rung starts from a fresh BDD manager so a
+/// blown-up rung leaves no memory behind.
+fn spcf_ladder(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    target: Delay,
+    budget: Budget,
+) -> (Bdd, SpcfSet, DegradationLevel) {
+    let num_vars = netlist.inputs().len().max(1);
+    let mut bdd = Bdd::new(num_vars);
+    match try_short_path_spcf(netlist, sta, &mut bdd, target, budget) {
+        Ok(spcf) => return (bdd, spcf, DegradationLevel::Exact),
+        Err(e) => {
+            tm_telemetry::counter_add("resilience.fallback.node_based", 1);
+            if tm_telemetry::trace_level() >= 2 {
+                eprintln!("[synth] short-path SPCF: {e}; falling back to node-based");
+            }
+        }
+    }
+    let mut bdd = Bdd::new(num_vars);
+    match try_node_based_spcf(netlist, sta, &mut bdd, target, budget) {
+        Ok(spcf) => return (bdd, spcf, DegradationLevel::NodeBased),
+        Err(e) => {
+            tm_telemetry::counter_add("resilience.fallback.conservative", 1);
+            if tm_telemetry::trace_level() >= 2 {
+                eprintln!("[synth] node-based SPCF: {e}; falling back to guard-everything");
+            }
+        }
+    }
+    let mut bdd = Bdd::new(num_vars);
+    let spcf = conservative_spcf(netlist, sta, &mut bdd, target);
+    (bdd, spcf, DegradationLevel::Conservative)
+}
 
 /// Everything `synthesize` produces: the design, the SPCFs (with their
 /// BDD manager, needed for verification and counting), and the report.
@@ -89,10 +156,18 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
     let delta = sta.critical_path_delay();
     let target = delta * options.target_fraction;
 
-    let mut bdd = Bdd::new(netlist.inputs().len().max(1));
-    let spcf = {
+    let (mut bdd, spcf, degradation) = {
         let _s = tm_telemetry::span!("masking.spcf");
-        short_path_spcf(netlist, &sta, &mut bdd, target)
+        spcf_ladder(netlist, &sta, target, options.budget)
+    };
+    trace!("[synth {:?}] spcf ladder settled at {degradation}", start.elapsed());
+    // The guard-everything rung has no per-pattern information to prune
+    // against, and essential-weight selection would only rediscover the
+    // full covers at BDD cost — force the FullCover path, which needs
+    // no global BDDs at all.
+    let cube_selection = match degradation {
+        DegradationLevel::Conservative => CubeSelection::FullCover,
+        _ => options.cube_selection,
     };
     let zero = bdd.zero();
     let protected_outputs: Vec<(NetId, BddRef)> = spcf
@@ -104,23 +179,32 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
 
     if protected_outputs.is_empty() {
         let design = MaskedDesign::unprotected(netlist.clone());
-        let report = MaskingReport::measure(&design, &spcf, &mut bdd, delta, target, options.slack_fraction, start.elapsed());
+        let report = MaskingReport::measure(&design, &spcf, &mut bdd, delta, target, options.slack_fraction, degradation, start.elapsed());
         return MaskingResult { design, bdd, spcf, report };
     }
 
-    // Technology-independent view of the original circuit.
+    // Technology-independent view of the original circuit. Global BDDs
+    // are only needed to prune covers against care sets, so the
+    // FullCover path (including the conservative rung, where they could
+    // blow up on exactly the circuits that exhausted the budget) skips
+    // building them entirely.
     trace!("[synth {:?}] spcf done", start.elapsed());
+    let use_care = cube_selection == CubeSelection::EssentialWeight;
     let extract_span = tm_telemetry::span!("masking.extract");
     let tin = extract(netlist, options.extract);
     trace!("[synth {:?}] extract done ({} nodes)", start.elapsed(), tin.num_nodes());
-    let globals = tin.global_bdds(&mut bdd);
+    let globals: Vec<BddRef> = if use_care { tin.global_bdds(&mut bdd) } else { Vec::new() };
     trace!("[synth {:?}] globals done", start.elapsed());
     drop(extract_span);
 
-    // Care set per node: union of the SPCFs of critical outputs whose
-    // fanin cone contains it.
-    let sig_count = globals.len();
-    let mut care: Vec<BddRef> = vec![zero; sig_count];
+    // Structural cone membership gates which nodes get mask logic; the
+    // care set per node (union of the SPCFs of critical outputs whose
+    // fanin cone contains it) exists only on the essential-weight path.
+    // The two gates agree: every protected output has a non-zero SPCF,
+    // so `care[sig] != zero` exactly when `in_cone[sig]`.
+    let sig_count = tin.num_sigs();
+    let mut in_cone = vec![false; sig_count];
+    let mut care: Vec<BddRef> = vec![zero; if use_care { sig_count } else { 0 }];
     let mut out_sig_of: HashMap<NetId, SigId> = HashMap::new();
     for (net, sigma) in &protected_outputs {
         let pos = netlist
@@ -132,8 +216,11 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
         out_sig_of.insert(*net, y_sig);
         for sig in tin.fanin_cone(y_sig) {
             if matches!(tin.kind(sig), SigKind::Node(_)) {
-                let c = care[sig.index()];
-                care[sig.index()] = bdd.or(c, *sigma);
+                in_cone[sig.index()] = true;
+                if use_care {
+                    let c = care[sig.index()];
+                    care[sig.index()] = bdd.or(c, *sigma);
+                }
             }
         }
     }
@@ -147,29 +234,37 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
     let mut mask_nodes: HashMap<SigId, MaskNode> = HashMap::new();
     let covers_span = tm_telemetry::span!("masking.covers");
     for sig in tin.node_sigs() {
-        if care[sig.index()] == zero {
+        if !in_cone[sig.index()] {
             continue;
         }
         let node = tin.node_of(sig).expect("node sig");
         let arity = node.inputs().len();
-        let input_globals: Vec<BddRef> =
-            node.inputs().iter().map(|i| globals[i.index()]).collect();
         let tt = node.truth_table();
         let on_cover = node.cover().sorted_by_literal_count();
         let off_cover = qm::minimize(&!&tt, &TruthTable::zero(arity)).sorted_by_literal_count();
 
-        let f_sig = globals[sig.index()];
-        let not_f = bdd.not(f_sig);
-        let care_sig = care[sig.index()];
-        let care_on = bdd.and(care_sig, f_sig);
-        let care_off = bdd.and(care_sig, not_f);
+        // BDD context for essential-weight selection; the FullCover
+        // path needs none of it.
+        let care_ctx = if use_care {
+            let input_globals: Vec<BddRef> =
+                node.inputs().iter().map(|i| globals[i.index()]).collect();
+            Some((input_globals, care[sig.index()]))
+        } else {
+            None
+        };
 
-        let (sel_on, sel_off) = match options.cube_selection {
-            CubeSelection::EssentialWeight => (
-                select_cover_by_essential_weight(&mut bdd, &on_cover, &input_globals, care_on),
-                select_cover_by_essential_weight(&mut bdd, &off_cover, &input_globals, care_off),
-            ),
-            CubeSelection::FullCover => (on_cover.clone(), off_cover.clone()),
+        let (sel_on, sel_off) = match &care_ctx {
+            Some((input_globals, care_sig)) => {
+                let f_sig = globals[sig.index()];
+                let not_f = bdd.not(f_sig);
+                let care_on = bdd.and(*care_sig, f_sig);
+                let care_off = bdd.and(*care_sig, not_f);
+                (
+                    select_cover_by_essential_weight(&mut bdd, &on_cover, input_globals, care_on),
+                    select_cover_by_essential_weight(&mut bdd, &off_cover, input_globals, care_off),
+                )
+            }
+            None => (on_cover.clone(), off_cover.clone()),
         };
 
         // Indicator e = n⁰ ⊕ n¹ (Eqn. 2), then pruned against the care
@@ -178,11 +273,11 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
         let off_tt = TruthTable::from_sop(arity, &sel_off);
         let e_tt = &on_tt ^ &off_tt;
         let e_cover = qm::minimize(&e_tt, &TruthTable::zero(arity)).sorted_by_literal_count();
-        let e_final = match options.cube_selection {
-            CubeSelection::EssentialWeight => {
-                select_cover_by_essential_weight(&mut bdd, &e_cover, &input_globals, care_sig)
+        let e_final = match &care_ctx {
+            Some((input_globals, care_sig)) => {
+                select_cover_by_essential_weight(&mut bdd, &e_cover, input_globals, *care_sig)
             }
-            CubeSelection::FullCover => e_cover,
+            None => e_cover,
         };
 
         if trace && start.elapsed().as_secs() >= 2 {
@@ -270,7 +365,7 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
 
     let design = assemble_masked_design(netlist, masking, &masked_meta);
     trace!("[synth {:?}] combined built ({} gates)", start.elapsed(), design.combined.num_gates());
-    let report = MaskingReport::measure(&design, &spcf, &mut bdd, delta, target, options.slack_fraction, start.elapsed());
+    let report = MaskingReport::measure(&design, &spcf, &mut bdd, delta, target, options.slack_fraction, degradation, start.elapsed());
     trace!("[synth {:?}] measured", start.elapsed());
     bdd.publish_metrics();
     MaskingResult { design, bdd, spcf, report }

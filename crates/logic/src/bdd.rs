@@ -13,6 +13,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use tm_resilience::{Budget, Exhausted};
+
 /// Handle to a BDD node (a Boolean function) inside a [`Bdd`] manager.
 ///
 /// Handles are only meaningful for the manager that created them.
@@ -52,6 +54,16 @@ const TERMINAL_VAR: u32 = u32::MAX;
 
 /// A BDD manager: owns the node store, unique table and operation caches.
 ///
+/// # Budgets
+///
+/// A deterministic [`Budget`] can be installed with [`Bdd::set_budget`];
+/// the manager then checks its node count against `max_bdd_nodes` on
+/// every allocation and its recursion-step counter against `max_steps`
+/// on every cache miss. The `try_*` operation variants surface
+/// exhaustion as a typed [`Exhausted`] error; the plain operations are
+/// unchanged under the default unlimited budget and *panic* if a finite
+/// budget runs out mid-call (budgeted callers must use `try_*`).
+///
 /// # Examples
 ///
 /// ```
@@ -75,6 +87,11 @@ pub struct Bdd {
     /// Stats as of the last [`Bdd::publish_metrics`] call, so repeated
     /// publishes from one manager emit deltas, never double-counts.
     published: BddStats,
+    /// Deterministic limits; unlimited unless [`Bdd::set_budget`] is
+    /// called.
+    budget: Budget,
+    /// Budgeted recursion steps taken (ITE and quantifier cache misses).
+    steps: u64,
 }
 
 /// Lifetime operation counts of one [`Bdd`] manager.
@@ -119,7 +136,47 @@ impl Bdd {
             quant_cache: HashMap::new(),
             stats: BddStats::default(),
             published: BddStats::default(),
+            budget: Budget::unlimited(),
+            steps: 0,
         }
+    }
+
+    /// Installs a computation budget. Limits apply to the manager's
+    /// *lifetime* counters: nodes already allocated count against
+    /// `max_bdd_nodes` and steps already taken against `max_steps`, so
+    /// budgeted phases normally start from a fresh manager.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The installed budget (unlimited by default).
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Removes any installed budget.
+    pub fn clear_budget(&mut self) {
+        self.budget = Budget::unlimited();
+    }
+
+    /// Budgeted recursion steps taken so far (cache misses in apply and
+    /// quantification).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Unwraps an operation result for the infallible API: only a
+    /// finite budget can make this panic.
+    #[track_caller]
+    fn infallible<T>(r: Result<T, Exhausted>) -> T {
+        r.unwrap_or_else(|e| panic!("{e}; budgeted callers must use the try_* API"))
+    }
+
+    /// Charges one recursion step against the budget.
+    fn charge_step(&mut self) -> Result<(), Exhausted> {
+        self.budget.check_steps(self.steps)?;
+        self.steps += 1;
+        Ok(())
     }
 
     /// Number of variables in the manager's space.
@@ -148,38 +205,54 @@ impl Bdd {
     ///
     /// Panics if `var >= num_vars`.
     pub fn var(&mut self, var: usize) -> BddRef {
+        Self::infallible(self.try_var(var))
+    }
+
+    /// Budget-checked [`Bdd::var`].
+    pub fn try_var(&mut self, var: usize) -> Result<BddRef, Exhausted> {
         assert!((var as u32) < self.num_vars, "variable {var} out of range");
-        BddRef(self.mk(var as u32, FALSE_IDX, TRUE_IDX))
+        Ok(BddRef(self.mk(var as u32, FALSE_IDX, TRUE_IDX)?))
     }
 
     /// The negated projection of variable `var`.
     pub fn nvar(&mut self, var: usize) -> BddRef {
+        Self::infallible(self.try_nvar(var))
+    }
+
+    /// Budget-checked [`Bdd::nvar`].
+    pub fn try_nvar(&mut self, var: usize) -> Result<BddRef, Exhausted> {
         assert!((var as u32) < self.num_vars, "variable {var} out of range");
-        BddRef(self.mk(var as u32, TRUE_IDX, FALSE_IDX))
+        Ok(BddRef(self.mk(var as u32, TRUE_IDX, FALSE_IDX)?))
     }
 
     /// A literal: variable `var` with the given polarity.
     pub fn literal(&mut self, var: usize, polarity: bool) -> BddRef {
+        Self::infallible(self.try_literal(var, polarity))
+    }
+
+    /// Budget-checked [`Bdd::literal`].
+    pub fn try_literal(&mut self, var: usize, polarity: bool) -> Result<BddRef, Exhausted> {
         if polarity {
-            self.var(var)
+            self.try_var(var)
         } else {
-            self.nvar(var)
+            self.try_nvar(var)
         }
     }
 
-    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> Result<u32, Exhausted> {
         if lo == hi {
-            return lo;
+            return Ok(lo);
         }
         if let Some(&idx) = self.unique.get(&(var, lo, hi)) {
             self.stats.unique_hits += 1;
-            return idx;
+            return Ok(idx);
         }
+        self.budget.check_bdd_nodes(self.nodes.len() as u64)?;
         self.stats.unique_misses += 1;
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), idx);
-        idx
+        Ok(idx)
     }
 
     fn top_var(&self, f: u32) -> u32 {
@@ -198,27 +271,33 @@ impl Bdd {
     /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)` — the universal
     /// connective all other operations reduce to.
     pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
-        BddRef(self.ite_rec(f.0, g.0, h.0))
+        Self::infallible(self.try_ite(f, g, h))
     }
 
-    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+    /// Budget-checked [`Bdd::ite`].
+    pub fn try_ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef, Exhausted> {
+        Ok(BddRef(self.ite_rec(f.0, g.0, h.0)?))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, Exhausted> {
         // Terminal cases.
         if f == TRUE_IDX {
-            return g;
+            return Ok(g);
         }
         if f == FALSE_IDX {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == TRUE_IDX && h == FALSE_IDX {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             self.stats.ite_cache_hits += 1;
-            return r;
+            return Ok(r);
         }
+        self.charge_step()?;
         self.stats.ite_cache_misses += 1;
         let v = self
             .top_var(f)
@@ -227,87 +306,143 @@ impl Bdd {
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
-        let lo = self.ite_rec(f0, g0, h0);
-        let hi = self.ite_rec(f1, g1, h1);
-        let r = self.mk(v, lo, hi);
+        let lo = self.ite_rec(f0, g0, h0)?;
+        let hi = self.ite_rec(f1, g1, h1)?;
+        let r = self.mk(v, lo, hi)?;
         self.ite_cache.insert((f, g, h), r);
-        r
+        Ok(r)
     }
 
     /// Conjunction.
     pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
-        BddRef(self.ite_rec(f.0, g.0, FALSE_IDX))
+        Self::infallible(self.try_and(f, g))
+    }
+
+    /// Budget-checked [`Bdd::and`].
+    pub fn try_and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
+        Ok(BddRef(self.ite_rec(f.0, g.0, FALSE_IDX)?))
     }
 
     /// Disjunction.
     pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
-        BddRef(self.ite_rec(f.0, TRUE_IDX, g.0))
+        Self::infallible(self.try_or(f, g))
+    }
+
+    /// Budget-checked [`Bdd::or`].
+    pub fn try_or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
+        Ok(BddRef(self.ite_rec(f.0, TRUE_IDX, g.0)?))
     }
 
     /// Negation.
     pub fn not(&mut self, f: BddRef) -> BddRef {
-        BddRef(self.ite_rec(f.0, FALSE_IDX, TRUE_IDX))
+        Self::infallible(self.try_not(f))
+    }
+
+    /// Budget-checked [`Bdd::not`].
+    pub fn try_not(&mut self, f: BddRef) -> Result<BddRef, Exhausted> {
+        Ok(BddRef(self.ite_rec(f.0, FALSE_IDX, TRUE_IDX)?))
     }
 
     /// Exclusive or.
     pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
-        let ng = self.not(g);
-        BddRef(self.ite_rec(f.0, ng.0, g.0))
+        Self::infallible(self.try_xor(f, g))
+    }
+
+    /// Budget-checked [`Bdd::xor`].
+    pub fn try_xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
+        let ng = self.try_not(g)?;
+        Ok(BddRef(self.ite_rec(f.0, ng.0, g.0)?))
     }
 
     /// Exclusive nor (equivalence).
     pub fn xnor(&mut self, f: BddRef, g: BddRef) -> BddRef {
-        let x = self.xor(f, g);
-        self.not(x)
+        Self::infallible(self.try_xnor(f, g))
+    }
+
+    /// Budget-checked [`Bdd::xnor`].
+    pub fn try_xnor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
+        let x = self.try_xor(f, g)?;
+        self.try_not(x)
     }
 
     /// Material implication `f ⇒ g`.
     pub fn implies(&mut self, f: BddRef, g: BddRef) -> BddRef {
-        BddRef(self.ite_rec(f.0, g.0, TRUE_IDX))
+        Self::infallible(self.try_implies(f, g))
+    }
+
+    /// Budget-checked [`Bdd::implies`].
+    pub fn try_implies(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
+        Ok(BddRef(self.ite_rec(f.0, g.0, TRUE_IDX)?))
     }
 
     /// Difference `f ∧ ¬g`.
     pub fn diff(&mut self, f: BddRef, g: BddRef) -> BddRef {
-        let ng = self.not(g);
-        self.and(f, ng)
+        Self::infallible(self.try_diff(f, g))
+    }
+
+    /// Budget-checked [`Bdd::diff`].
+    pub fn try_diff(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
+        let ng = self.try_not(g)?;
+        self.try_and(f, ng)
     }
 
     /// Conjunction over an iterator (balanced fold to keep intermediate
     /// BDDs small).
     pub fn and_all<I: IntoIterator<Item = BddRef>>(&mut self, items: I) -> BddRef {
+        Self::infallible(self.try_and_all(items))
+    }
+
+    /// Budget-checked [`Bdd::and_all`].
+    pub fn try_and_all<I: IntoIterator<Item = BddRef>>(
+        &mut self,
+        items: I,
+    ) -> Result<BddRef, Exhausted> {
         let mut v: Vec<BddRef> = items.into_iter().collect();
         if v.is_empty() {
-            return self.one();
+            return Ok(self.one());
         }
         while v.len() > 1 {
             let mut next = Vec::with_capacity(v.len().div_ceil(2));
             for pair in v.chunks(2) {
-                next.push(if pair.len() == 2 { self.and(pair[0], pair[1]) } else { pair[0] });
+                next.push(if pair.len() == 2 { self.try_and(pair[0], pair[1])? } else { pair[0] });
             }
             v = next;
         }
-        v[0]
+        Ok(v[0])
     }
 
     /// Disjunction over an iterator (balanced fold).
     pub fn or_all<I: IntoIterator<Item = BddRef>>(&mut self, items: I) -> BddRef {
+        Self::infallible(self.try_or_all(items))
+    }
+
+    /// Budget-checked [`Bdd::or_all`].
+    pub fn try_or_all<I: IntoIterator<Item = BddRef>>(
+        &mut self,
+        items: I,
+    ) -> Result<BddRef, Exhausted> {
         let mut v: Vec<BddRef> = items.into_iter().collect();
         if v.is_empty() {
-            return self.zero();
+            return Ok(self.zero());
         }
         while v.len() > 1 {
             let mut next = Vec::with_capacity(v.len().div_ceil(2));
             for pair in v.chunks(2) {
-                next.push(if pair.len() == 2 { self.or(pair[0], pair[1]) } else { pair[0] });
+                next.push(if pair.len() == 2 { self.try_or(pair[0], pair[1])? } else { pair[0] });
             }
             v = next;
         }
-        v[0]
+        Ok(v[0])
     }
 
     /// Whether `f ⊆ g` as sets of satisfying assignments.
     pub fn is_subset(&mut self, f: BddRef, g: BddRef) -> bool {
-        self.diff(f, g) == self.zero()
+        Self::infallible(self.try_is_subset(f, g))
+    }
+
+    /// Budget-checked [`Bdd::is_subset`].
+    pub fn try_is_subset(&mut self, f: BddRef, g: BddRef) -> Result<bool, Exhausted> {
+        Ok(self.try_diff(f, g)? == self.zero())
     }
 
     /// Evaluates the function on an explicit assignment (`assignment[i]` =
@@ -459,10 +594,20 @@ impl Bdd {
 
     /// Restricts variable `var` to a constant.
     pub fn restrict(&mut self, f: BddRef, var: usize, value: bool) -> BddRef {
-        let lit = self.literal(var, value);
+        Self::infallible(self.try_restrict(f, var, value))
+    }
+
+    /// Budget-checked [`Bdd::restrict`].
+    pub fn try_restrict(
+        &mut self,
+        f: BddRef,
+        var: usize,
+        value: bool,
+    ) -> Result<BddRef, Exhausted> {
+        let lit = self.try_literal(var, value)?;
         // restrict(f, v=c) = ∃v. (f ∧ (v=c))
-        let g = self.and(f, lit);
-        self.exists(g, &[var])
+        let g = self.try_and(f, lit)?;
+        self.try_exists(g, &[var])
     }
 
     /// Existential quantification over a set of variables.
@@ -472,6 +617,11 @@ impl Bdd {
     /// Panics if more than 64 distinct variables are quantified at once or
     /// any index is out of range.
     pub fn exists(&mut self, f: BddRef, vars: &[usize]) -> BddRef {
+        Self::infallible(self.try_exists(f, vars))
+    }
+
+    /// Budget-checked [`Bdd::exists`].
+    pub fn try_exists(&mut self, f: BddRef, vars: &[usize]) -> Result<BddRef, Exhausted> {
         assert!(vars.len() <= 64, "quantify at most 64 variables per call");
         let mut sorted: Vec<usize> = vars.to_vec();
         sorted.sort_unstable();
@@ -480,33 +630,34 @@ impl Bdd {
             assert!((v as u32) < self.num_vars, "variable {v} out of range");
         }
         self.quant_cache.clear();
-        BddRef(self.exists_rec(f.0, &sorted))
+        Ok(BddRef(self.exists_rec(f.0, &sorted)?))
     }
 
-    fn exists_rec(&mut self, f: u32, vars: &[usize]) -> u32 {
+    fn exists_rec(&mut self, f: u32, vars: &[usize]) -> Result<u32, Exhausted> {
         if f <= TRUE_IDX || vars.is_empty() {
-            return f;
+            return Ok(f);
         }
         let key = (f, vars.iter().fold(0u64, |acc, &v| acc.rotate_left(7) ^ v as u64));
         if let Some(&r) = self.quant_cache.get(&key) {
-            return r;
+            return Ok(r);
         }
+        self.charge_step()?;
         let n = self.nodes[f as usize];
         // Skip quantified variables above the root.
         let remaining: Vec<usize> =
             vars.iter().copied().filter(|&v| v as u32 >= n.var).collect();
         let r = if remaining.first() == Some(&(n.var as usize)) {
             let rest = &remaining[1..];
-            let lo = self.exists_rec(n.lo, rest);
-            let hi = self.exists_rec(n.hi, rest);
-            self.ite_rec(lo, TRUE_IDX, hi)
+            let lo = self.exists_rec(n.lo, rest)?;
+            let hi = self.exists_rec(n.hi, rest)?;
+            self.ite_rec(lo, TRUE_IDX, hi)?
         } else {
-            let lo = self.exists_rec(n.lo, &remaining);
-            let hi = self.exists_rec(n.hi, &remaining);
-            self.mk(n.var, lo, hi)
+            let lo = self.exists_rec(n.lo, &remaining)?;
+            let hi = self.exists_rec(n.hi, &remaining)?;
+            self.mk(n.var, lo, hi)?
         };
         self.quant_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// The support of `f`: variables it structurally depends on.
@@ -546,8 +697,16 @@ impl Bdd {
     /// Builds the BDD of a cube over manager variables given `(var,
     /// polarity)` literals.
     pub fn cube(&mut self, literals: &[(usize, bool)]) -> BddRef {
-        let lits: Vec<BddRef> = literals.iter().map(|&(v, p)| self.literal(v, p)).collect();
-        self.and_all(lits)
+        Self::infallible(self.try_cube(literals))
+    }
+
+    /// Budget-checked [`Bdd::cube`].
+    pub fn try_cube(&mut self, literals: &[(usize, bool)]) -> Result<BddRef, Exhausted> {
+        let mut lits = Vec::with_capacity(literals.len());
+        for &(v, p) in literals {
+            lits.push(self.try_literal(v, p)?);
+        }
+        self.try_and_all(lits)
     }
 
     /// Clears the operation caches (the unique table is preserved, so all
@@ -793,6 +952,65 @@ mod tests {
         b.publish_metrics();
         let snap = tm_telemetry::snapshot();
         assert_eq!(snap.counter("logic.bdd.ite_cache_hit"), Some(s.ite_cache_hits));
+    }
+
+    #[test]
+    fn node_budget_trips_with_typed_error() {
+        use tm_resilience::Resource;
+        let mut b = Bdd::new(16);
+        b.set_budget(Budget::unlimited().with_max_bdd_nodes(6));
+        let mut f = b.one();
+        let mut err = None;
+        for i in 0..16 {
+            let x = match b.try_var(i) {
+                Ok(x) => x,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            };
+            match b.try_and(f, x) {
+                Ok(g) => f = g,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let e = err.expect("a 6-node cap cannot fit a 16-literal cube");
+        assert_eq!(e.resource, Resource::BddNodes);
+        assert_eq!(e.limit, 6);
+        assert!(b.node_count() as u64 <= 6, "cap holds: {} nodes", b.node_count());
+    }
+
+    #[test]
+    fn step_budget_trips_and_clearing_recovers() {
+        let mut b = Bdd::new(10);
+        let lits: Vec<BddRef> = (0..10).map(|i| b.var(i)).collect();
+        b.set_budget(Budget::unlimited().with_max_steps(3));
+        let r = b.try_or_all(lits.clone());
+        assert!(r.is_err(), "3 steps cannot disjoin 10 fresh literals");
+        assert!(b.steps_taken() >= 3);
+        b.clear_budget();
+        assert!(b.budget().is_unlimited());
+        let f = b.try_or_all(lits).expect("unlimited again");
+        assert_eq!(b.sat_count(f), 1023.0);
+    }
+
+    #[test]
+    fn unlimited_budget_try_ops_never_fail() {
+        let mut b = Bdd::new(6);
+        let x = b.try_var(0).unwrap();
+        let y = b.try_nvar(5).unwrap();
+        let f = b.try_xor(x, y).unwrap();
+        let g = b.try_exists(f, &[0]).unwrap();
+        assert_eq!(g, b.one());
+        let c = b.try_cube(&[(1, true), (2, false)]).unwrap();
+        assert!(b.try_is_subset(b.zero(), c).unwrap());
+        // f = x0 ⊕ ¬x5, so pinning x5=0 leaves ¬x0.
+        let r = b.try_restrict(f, 5, false).unwrap();
+        let nx = b.try_not(x).unwrap();
+        assert_eq!(r, nx);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use tm_masking::{inject_and_measure, MaskedDesign};
 use tm_netlist::Delay;
+use tm_resilience::{Context, TmError, TmResult};
 use tm_sim::timing::TimingSim;
 use tm_sta::Sta;
 
@@ -118,13 +119,30 @@ impl Default for DvsExplorer {
 impl DvsExplorer {
     /// Runs the sweep with the given workload vectors.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the design is unprotected or the sweep range is
-    /// degenerate.
-    pub fn sweep(&self, design: &MaskedDesign, vectors: &[Vec<bool>]) -> DvsSweep {
-        assert!(design.is_protected(), "DVS exploration needs a protected design");
-        assert!(self.v_min < self.model.v_nominal, "sweep range is empty");
+    /// Returns [`TmError`] when the design is unprotected, the sweep
+    /// range is degenerate (including `v_min` at or below the model's
+    /// threshold voltage), or a workload vector has the wrong arity.
+    pub fn sweep(&self, design: &MaskedDesign, vectors: &[Vec<bool>]) -> TmResult<DvsSweep> {
+        if !design.is_protected() {
+            return Err(TmError::invalid_input("DVS exploration needs a protected design"));
+        }
+        if !(self.v_min < self.model.v_nominal) {
+            return Err(TmError::invalid_input("sweep range is empty"));
+        }
+        if self.v_min <= self.model.v_threshold {
+            return Err(TmError::invalid_input(format!(
+                "v_min {} must exceed the threshold voltage {}",
+                self.v_min, self.model.v_threshold
+            )));
+        }
+        if !(self.v_step > 0.0) || !self.v_step.is_finite() {
+            return Err(TmError::invalid_input(format!(
+                "v_step must be finite and positive, got {}",
+                self.v_step
+            )));
+        }
         let clock = self
             .clock
             .unwrap_or_else(|| Sta::new(&design.original).critical_path_delay());
@@ -134,7 +152,8 @@ impl DvsExplorer {
         while vdd >= self.v_min - 1e-12 {
             let factor = self.model.delay_factor(vdd);
             let scale = vec![factor; design.combined.num_gates()];
-            let outcome = inject_and_measure(design, &scale, clock, vectors);
+            let outcome = inject_and_measure(design, &scale, clock, vectors)
+                .context(format!("DVS sweep at vdd {vdd:.3}"))?;
             points.push(DvsPoint {
                 vdd,
                 delay_factor: factor,
@@ -165,7 +184,7 @@ impl DvsExplorer {
             }
         }
 
-        DvsSweep { points, min_safe_unmasked, min_safe_masked }
+        Ok(DvsSweep { points, min_safe_unmasked, min_safe_masked })
     }
 }
 
@@ -212,7 +231,7 @@ mod tests {
         let design = synthesize(&nl, MaskingOptions::default()).design;
         let vectors = random_vectors(4, 300, 4242);
         let explorer = DvsExplorer { v_min: 0.80, v_step: 0.02, ..Default::default() };
-        let sweep = explorer.sweep(&design, &vectors);
+        let sweep = explorer.sweep(&design, &vectors).expect("valid sweep");
         let safe_u = sweep.min_safe_unmasked.expect("nominal must be safe");
         let safe_m = sweep.min_safe_masked.expect("nominal must be safe");
         assert!(

@@ -40,7 +40,7 @@
 //!     epochs: 4,
 //!     max_stress: 0.9,
 //!     ..Default::default()
-//! });
+//! }).expect("valid lifetime config");
 //! let assessment = WearoutPredictor::default().assess(&stats);
 //! // Aged silicon shows masked errors; fresh silicon shows none.
 //! assert_eq!(stats[0].detected_errors, 0);

@@ -10,6 +10,7 @@
 
 use tm_masking::MaskedDesign;
 use tm_netlist::Delay;
+use tm_resilience::{Context, TmError, TmResult};
 use tm_sim::timing::TimingSim;
 use tm_sta::Sta;
 
@@ -123,19 +124,46 @@ impl<'a> DebugSession<'a> {
     /// combined netlist) and captures into a buffer of `capacity` under
     /// the given policy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the design is unprotected or arities mismatch.
+    /// Returns [`TmError`] when the design is unprotected (nothing to
+    /// trace), `capacity` is zero, `scale` does not have one finite
+    /// positive entry per gate, or a vector's arity is wrong.
     pub fn run(
         &self,
         scale: &[f64],
         vectors: &[Vec<bool>],
         capacity: usize,
         policy: CapturePolicy,
-    ) -> SessionResult {
-        assert!(self.design.is_protected(), "debug session needs protected outputs");
+    ) -> TmResult<SessionResult> {
+        if !self.design.is_protected() {
+            return Err(TmError::invalid_input("debug session needs protected outputs"));
+        }
+        if capacity == 0 {
+            return Err(TmError::invalid_input("trace buffer needs nonzero capacity"));
+        }
         let _span = tm_telemetry::span!("monitor.trace.session", cycles = vectors.len());
         let (instrumented, probes) = self.design.instrumented();
+        if scale.len() != instrumented.num_gates() {
+            return Err(TmError::invalid_input(format!(
+                "one scale factor per gate: got {}, netlist has {}",
+                scale.len(),
+                instrumented.num_gates()
+            )));
+        }
+        if let Some(&bad) = scale.iter().find(|f| !f.is_finite() || **f <= 0.0) {
+            return Err(TmError::invalid_input(format!(
+                "aging factor must be finite and positive, got {bad}"
+            )));
+        }
+        let arity = instrumented.inputs().len();
+        if let Some(bad) = vectors.iter().find(|v| v.len() != arity) {
+            return Err(TmError::invalid_input(format!(
+                "workload vector arity {} does not match {} primary inputs",
+                bad.len(),
+                arity
+            )));
+        }
         let sim = TimingSim::with_scale(&instrumented, scale.to_vec());
         let mut buffer = TraceBuffer::new(capacity);
         let mut window = 0usize;
@@ -170,20 +198,28 @@ impl<'a> DebugSession<'a> {
         tm_telemetry::counter_add("monitor.trace.captured", buffer.entries().len() as u64);
         tm_telemetry::counter_add("monitor.trace.dropped", buffer.dropped());
         let dropped = buffer.dropped();
-        SessionResult { buffer, window, total_cycles, dropped }
+        Ok(SessionResult { buffer, window, total_cycles, dropped })
     }
 
     /// Runs both policies on the same workload and returns the window
     /// expansion factor `selective_window / always_window`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DebugSession::run`] errors.
     pub fn window_expansion(
         &self,
         scale: &[f64],
         vectors: &[Vec<bool>],
         capacity: usize,
-    ) -> f64 {
-        let always = self.run(scale, vectors, capacity, CapturePolicy::Always);
-        let selective = self.run(scale, vectors, capacity, CapturePolicy::OnSpeedPath);
-        selective.window as f64 / always.window.max(1) as f64
+    ) -> TmResult<f64> {
+        let always = self
+            .run(scale, vectors, capacity, CapturePolicy::Always)
+            .context("window expansion: always-capture baseline")?;
+        let selective = self
+            .run(scale, vectors, capacity, CapturePolicy::OnSpeedPath)
+            .context("window expansion: selective capture")?;
+        Ok(selective.window as f64 / always.window.max(1) as f64)
     }
 }
 
@@ -220,9 +256,9 @@ mod tests {
         let _scope = tm_telemetry::Scope::enter();
         let design = setup();
         let session = DebugSession::new(&design);
-        let scale = uniform_aging(&design, 1.0);
+        let scale = uniform_aging(&design, 1.0).unwrap();
         let vectors = random_vectors(4, 100, 7);
-        let r = session.run(&scale, &vectors, 10, CapturePolicy::Always);
+        let r = session.run(&scale, &vectors, 10, CapturePolicy::Always).unwrap();
         // 99 cycles, 10 stored: the other 89 are lost and say so.
         assert_eq!(r.window, 10);
         assert_eq!(r.total_cycles, 99);
@@ -238,9 +274,9 @@ mod tests {
     fn always_capture_window_equals_capacity() {
         let design = setup();
         let session = DebugSession::new(&design);
-        let scale = uniform_aging(&design, 1.0);
+        let scale = uniform_aging(&design, 1.0).unwrap();
         let vectors = random_vectors(4, 100, 7);
-        let r = session.run(&scale, &vectors, 10, CapturePolicy::Always);
+        let r = session.run(&scale, &vectors, 10, CapturePolicy::Always).unwrap();
         assert_eq!(r.window, 10);
         assert!(r.buffer.is_full());
     }
@@ -249,9 +285,9 @@ mod tests {
     fn selective_capture_expands_window() {
         let design = setup();
         let session = DebugSession::new(&design);
-        let scale = uniform_aging(&design, 1.0);
+        let scale = uniform_aging(&design, 1.0).unwrap();
         let vectors = random_vectors(4, 200, 13);
-        let expansion = session.window_expansion(&scale, &vectors, 10);
+        let expansion = session.window_expansion(&scale, &vectors, 10).unwrap();
         // The comparator's e fires on 10/16 of the input space under the
         // simplified indicator — but only *sampled* activity counts; the
         // window must expand or at worst match.
@@ -262,9 +298,9 @@ mod tests {
     fn selective_entries_are_vulnerable_cycles() {
         let design = setup();
         let session = DebugSession::new(&design);
-        let scale = uniform_aging(&design, 1.0);
+        let scale = uniform_aging(&design, 1.0).unwrap();
         let vectors = random_vectors(4, 120, 19);
-        let r = session.run(&scale, &vectors, 50, CapturePolicy::OnSpeedPath);
+        let r = session.run(&scale, &vectors, 50, CapturePolicy::OnSpeedPath).unwrap();
         for entry in r.buffer.entries() {
             // Every third signal is an e probe; at least one fired.
             let any_e = entry.signals.iter().skip(2).step_by(3).any(|&e| e);
@@ -276,9 +312,9 @@ mod tests {
     fn small_workload_never_fills() {
         let design = setup();
         let session = DebugSession::new(&design);
-        let scale = uniform_aging(&design, 1.0);
+        let scale = uniform_aging(&design, 1.0).unwrap();
         let vectors = random_vectors(4, 5, 29);
-        let r = session.run(&scale, &vectors, 100, CapturePolicy::Always);
+        let r = session.run(&scale, &vectors, 100, CapturePolicy::Always).unwrap();
         assert!(!r.buffer.is_full());
         assert_eq!(r.window, 4);
         assert_eq!(r.total_cycles, 4);

@@ -13,6 +13,7 @@
 
 use tm_masking::MaskedDesign;
 use tm_netlist::Delay;
+use tm_resilience::{TmError, TmResult};
 use tm_sim::aging::AgingModel;
 use tm_sim::timing::TimingSim;
 use tm_sta::Sta;
@@ -93,13 +94,27 @@ impl Default for LifetimeConfig {
 /// model's speed-path rate; all other gates (including the masking
 /// circuit, which rides on its ≥ 20 % slack) age at the base rate.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the design has no protected outputs (nothing to monitor)
-/// or the config is degenerate (zero epochs / vectors).
-pub fn run_lifetime(design: &MaskedDesign, config: &LifetimeConfig) -> Vec<EpochStats> {
-    assert!(design.is_protected(), "wearout monitoring needs protected outputs");
-    assert!(config.epochs >= 1 && config.vectors_per_epoch >= 2, "degenerate config");
+/// Returns [`TmError`] when the design has no protected outputs
+/// (nothing to monitor) or the config is degenerate (zero epochs,
+/// fewer than two vectors per epoch, or a non-finite stress level).
+pub fn run_lifetime(design: &MaskedDesign, config: &LifetimeConfig) -> TmResult<Vec<EpochStats>> {
+    if !design.is_protected() {
+        return Err(TmError::invalid_input("wearout monitoring needs protected outputs"));
+    }
+    if config.epochs < 1 || config.vectors_per_epoch < 2 {
+        return Err(TmError::invalid_input(format!(
+            "degenerate lifetime config: {} epochs, {} vectors per epoch (need >= 1 and >= 2)",
+            config.epochs, config.vectors_per_epoch
+        )));
+    }
+    if !config.max_stress.is_finite() || config.max_stress < 0.0 {
+        return Err(TmError::invalid_input(format!(
+            "max_stress must be finite and non-negative, got {}",
+            config.max_stress
+        )));
+    }
 
     let sta = Sta::new(&design.original);
     let delta = sta.critical_path_delay();
@@ -191,7 +206,7 @@ pub fn run_lifetime(design: &MaskedDesign, config: &LifetimeConfig) -> Vec<Epoch
         }
         stats.push(s);
     }
-    stats
+    Ok(stats)
 }
 
 /// Offline analyzer of epoch logs: detects the onset of wearout and
@@ -288,7 +303,7 @@ mod tests {
             vectors_per_epoch: 250,
             ..Default::default()
         };
-        let stats = run_lifetime(&design, &config);
+        let stats = run_lifetime(&design, &config).unwrap();
         assert_eq!(stats.len(), 6);
         // Fresh silicon: no detected errors.
         assert_eq!(stats[0].detected_errors, 0);
@@ -305,7 +320,7 @@ mod tests {
     fn predictor_finds_onset_and_extrapolates() {
         let design = masked_comparator();
         let config = LifetimeConfig { epochs: 8, max_stress: 0.9, ..Default::default() };
-        let stats = run_lifetime(&design, &config);
+        let stats = run_lifetime(&design, &config).unwrap();
         let predictor = WearoutPredictor::default();
         let a = predictor.assess(&stats);
         assert!(a.onset_epoch.is_some(), "{stats:?}");
@@ -318,7 +333,7 @@ mod tests {
     fn predictor_quiet_on_fresh_silicon() {
         let design = masked_comparator();
         let config = LifetimeConfig { epochs: 3, max_stress: 0.0, ..Default::default() };
-        let stats = run_lifetime(&design, &config);
+        let stats = run_lifetime(&design, &config).unwrap();
         let a = WearoutPredictor::default().assess(&stats);
         assert_eq!(a.onset_epoch, None);
         assert_eq!(a.predicted_failure_epoch, None);
@@ -328,6 +343,23 @@ mod tests {
     fn deterministic_runs() {
         let design = masked_comparator();
         let config = LifetimeConfig { epochs: 3, max_stress: 0.5, ..Default::default() };
-        assert_eq!(run_lifetime(&design, &config), run_lifetime(&design, &config));
+        assert_eq!(
+            run_lifetime(&design, &config).unwrap(),
+            run_lifetime(&design, &config).unwrap()
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_are_errors_not_panics() {
+        let design = masked_comparator();
+        let bad_epochs = LifetimeConfig { epochs: 0, ..Default::default() };
+        assert!(run_lifetime(&design, &bad_epochs).is_err());
+        let bad_vectors = LifetimeConfig { vectors_per_epoch: 1, ..Default::default() };
+        assert!(run_lifetime(&design, &bad_vectors).is_err());
+        let bad_stress = LifetimeConfig { max_stress: f64::NAN, ..Default::default() };
+        assert!(run_lifetime(&design, &bad_stress).is_err());
+        let unprotected = MaskedDesign::unprotected(design.original.clone());
+        let err = run_lifetime(&unprotected, &LifetimeConfig::default()).expect_err("unprotected");
+        assert!(err.to_string().contains("protected"));
     }
 }

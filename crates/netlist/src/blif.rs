@@ -11,6 +11,7 @@ use crate::sop_network::SopNetwork;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use tm_logic::tt::MAX_TT_VARS;
 use tm_logic::{qm, Cube, Sop, TruthTable};
 
 /// Error produced while parsing BLIF text.
@@ -50,7 +51,11 @@ impl Error for ParseBlifError {}
 /// # Errors
 ///
 /// Returns [`ParseBlifError`] on malformed syntax, undefined signals,
-/// duplicate definitions, or cyclic node dependencies.
+/// duplicate definitions, cyclic node dependencies, or `.names` blocks
+/// with more than [`MAX_TT_VARS`] fanins (the supported subset keeps
+/// every node truth-table representable). Arbitrary — including
+/// adversarial — input never panics; every rejection carries the
+/// 1-based line number of the offending construct.
 ///
 /// # Examples
 ///
@@ -78,8 +83,10 @@ pub fn parse_blif(text: &str) -> Result<SopNetwork, ParseBlifError> {
     }
 
     let mut model_name = String::from("unnamed");
-    let mut input_names: Vec<String> = Vec::new();
-    let mut output_names: Vec<String> = Vec::new();
+    // Names paired with the line of the directive that declared them,
+    // so late errors (duplicates, undefined outputs) can point at it.
+    let mut input_names: Vec<(usize, String)> = Vec::new();
+    let mut output_names: Vec<(usize, String)> = Vec::new();
     let mut names_blocks: Vec<RawNames> = Vec::new();
 
     // Join continuation lines, tracking original line numbers.
@@ -130,17 +137,26 @@ pub fn parse_blif(text: &str) -> Result<SopNetwork, ParseBlifError> {
                 idx += 1;
             }
             ".inputs" => {
-                input_names.extend(tokens.map(str::to_string));
+                input_names.extend(tokens.map(|t| (*line_no, t.to_string())));
                 idx += 1;
             }
             ".outputs" => {
-                output_names.extend(tokens.map(str::to_string));
+                output_names.extend(tokens.map(|t| (*line_no, t.to_string())));
                 idx += 1;
             }
             ".names" => {
                 let signals: Vec<String> = tokens.map(str::to_string).collect();
                 if signals.is_empty() {
                     return Err(ParseBlifError::new(*line_no, ".names needs at least an output"));
+                }
+                if signals.len() - 1 > MAX_TT_VARS {
+                    return Err(ParseBlifError::new(
+                        *line_no,
+                        format!(
+                            ".names with {} fanins exceeds the supported maximum of {MAX_TT_VARS}",
+                            signals.len() - 1
+                        ),
+                    ));
                 }
                 let mut rows = Vec::new();
                 idx += 1;
@@ -168,6 +184,12 @@ pub fn parse_blif(text: &str) -> Result<SopNetwork, ParseBlifError> {
                                 plane.len(),
                                 signals.len() - 1
                             ),
+                        ));
+                    }
+                    if let Some(bad) = plane.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+                        return Err(ParseBlifError::new(
+                            *row_line,
+                            format!("invalid cover row character {bad:?} (expected 0, 1, or -)"),
                         ));
                     }
                     let out_char = out.chars().next().unwrap_or('?');
@@ -198,9 +220,9 @@ pub fn parse_blif(text: &str) -> Result<SopNetwork, ParseBlifError> {
     // emit blocks whose fanins are all defined.
     let mut net = SopNetwork::new(model_name);
     let mut defined: HashMap<String, crate::sop_network::SigId> = HashMap::new();
-    for name in &input_names {
+    for (line, name) in &input_names {
         if defined.contains_key(name) {
-            return Err(ParseBlifError::new(0, format!("duplicate input {name}")));
+            return Err(ParseBlifError::new(*line, format!("duplicate input {name}")));
         }
         defined.insert(name.clone(), net.add_input(name.clone()));
     }
@@ -214,7 +236,7 @@ pub fn parse_blif(text: &str) -> Result<SopNetwork, ParseBlifError> {
             if seen.insert(out, b.line).is_some() {
                 return Err(ParseBlifError::new(b.line, format!("signal {out} defined twice")));
             }
-            if input_names.iter().any(|i| i == out) {
+            if input_names.iter().any(|(_, i)| i == out) {
                 return Err(ParseBlifError::new(b.line, format!("signal {out} shadows an input")));
             }
         }
@@ -246,11 +268,15 @@ pub fn parse_blif(text: &str) -> Result<SopNetwork, ParseBlifError> {
         }
     }
 
-    for name in &output_names {
+    let mut marked: HashMap<&str, usize> = HashMap::new();
+    for (line, name) in &output_names {
+        if marked.insert(name.as_str(), *line).is_some() {
+            return Err(ParseBlifError::new(*line, format!("output {name} listed twice")));
+        }
         match defined.get(name) {
             Some(&sig) => net.mark_output(sig),
             None => {
-                return Err(ParseBlifError::new(0, format!("output {name} never defined")));
+                return Err(ParseBlifError::new(*line, format!("output {name} never defined")));
             }
         }
     }
@@ -399,6 +425,51 @@ mod tests {
         assert!(err.to_string().contains("unsupported"));
         let err = parse_blif(".model m\n.inputs a\n.outputs y\n.end\n").expect_err("undefined");
         assert!(err.to_string().contains("never defined"));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_errors_not_panics() {
+        // Empty .names (no signals at all).
+        let err = parse_blif(".model m\n.inputs a\n.outputs y\n.names\n.end\n")
+            .expect_err("empty names");
+        assert_eq!(err.line(), 4);
+        // Duplicate .outputs entry used to trip a mark_output assert.
+        let err = parse_blif(".model m\n.inputs a\n.outputs y y\n.names a y\n1 1\n.end\n")
+            .expect_err("duplicate output");
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("listed twice"));
+        // Undefined output now points at the .outputs directive.
+        let err = parse_blif(".model m\n.inputs a\n.outputs ghost\n.end\n")
+            .expect_err("undefined output");
+        assert_eq!(err.line(), 3);
+        // Duplicate input points at the .inputs directive.
+        let err = parse_blif(".model m\n.inputs a a\n.outputs a\n.end\n")
+            .expect_err("duplicate input");
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn oversized_names_block_rejected() {
+        // 21 fanins would overflow the truth-table limit during off-set
+        // complementation; reject at parse time with the .names line.
+        let fanins: Vec<String> = (0..21).map(|i| format!("x{i}")).collect();
+        let src = format!(
+            ".model m\n.inputs {}\n.outputs y\n.names {} y\n{} 0\n.end\n",
+            fanins.join(" "),
+            fanins.join(" "),
+            "1".repeat(21)
+        );
+        let err = parse_blif(&src).expect_err("too many fanins");
+        assert_eq!(err.line(), 4);
+        assert!(err.to_string().contains("exceeds the supported maximum"));
+    }
+
+    #[test]
+    fn invalid_plane_character_rejected() {
+        let err = parse_blif(".model m\n.inputs a b\n.outputs y\n.names a b y\n1x 1\n.end\n")
+            .expect_err("bad plane char");
+        assert_eq!(err.line(), 5);
+        assert!(err.to_string().contains("'x'"));
     }
 
     #[test]

@@ -209,6 +209,12 @@ impl SopNetwork {
         }
     }
 
+    /// Total signal count (inputs + nodes); `SigId::index` is bounded
+    /// by this.
+    pub fn num_sigs(&self) -> usize {
+        self.sigs.len()
+    }
+
     /// All node-output signals in topological (insertion) order.
     pub fn node_sigs(&self) -> Vec<SigId> {
         self.sigs

@@ -7,6 +7,7 @@ use tm_logic::bdd::{Bdd, BddRef};
 use tm_logic::{qm, Cube};
 use tm_netlist::netlist::Driver;
 use tm_netlist::{CellId, Delay, NetId, Netlist};
+use tm_resilience::Exhausted;
 
 /// Which SPCF algorithm produced a result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -18,6 +19,11 @@ pub enum Algorithm {
     PathBased,
     /// The paper's proposed short-path-based exact recursion (Eqn. 1).
     ShortPath,
+    /// Guard-everything over-approximation: the SPCF of every critical
+    /// output is the full input space. Trivially sound (a superset of
+    /// any exact SPCF), trivially cheap, maximally area-hungry — the
+    /// last rung of the resilience degradation ladder (DESIGN.md §7).
+    Conservative,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -26,6 +32,7 @@ impl std::fmt::Display for Algorithm {
             Algorithm::NodeBased => write!(f, "node-based"),
             Algorithm::PathBased => write!(f, "path-based"),
             Algorithm::ShortPath => write!(f, "short-path-based"),
+            Algorithm::Conservative => write!(f, "conservative"),
         }
     }
 }
@@ -167,43 +174,54 @@ impl LazyGlobals {
     /// # Panics
     ///
     /// Panics if the manager has fewer variables than the netlist has
-    /// inputs.
+    /// inputs, or if a finite manager budget runs out (use
+    /// [`LazyGlobals::try_of`] under a budget).
     pub fn of(&mut self, netlist: &Netlist, bdd: &mut Bdd, net: NetId) -> BddRef {
+        self.try_of(netlist, bdd, net)
+            .expect("unbudgeted global construction cannot exhaust")
+    }
+
+    /// Budget-checked [`LazyGlobals::of`]: surfaces the manager's
+    /// exhaustion instead of panicking.
+    pub fn try_of(
+        &mut self,
+        netlist: &Netlist,
+        bdd: &mut Bdd,
+        net: NetId,
+    ) -> Result<BddRef, Exhausted> {
         if let Some(f) = self.refs[net.index()] {
-            return f;
+            return Ok(f);
         }
         let f = match netlist.driver(net) {
             Driver::PrimaryInput => {
                 let pos = netlist
                     .input_position(net)
                     .expect("input-driven net is a primary input");
-                bdd.var(pos)
+                bdd.try_var(pos)?
             }
             Driver::Gate(gid) => {
                 let g = netlist.gate(gid);
                 let func = netlist.library().cell(g.cell()).function().clone();
-                let ins: Vec<BddRef> = g
-                    .inputs()
-                    .iter()
-                    .map(|&i| self.of(netlist, bdd, i))
-                    .collect();
+                let mut ins = Vec::with_capacity(g.inputs().len());
+                for &i in g.inputs() {
+                    ins.push(self.try_of(netlist, bdd, i)?);
+                }
                 let mut terms = Vec::new();
                 for m in 0..(1u64 << ins.len()) {
                     if !func.eval(m) {
                         continue;
                     }
-                    let lits: Vec<BddRef> = ins
-                        .iter()
-                        .enumerate()
-                        .map(|(pin, &w)| if (m >> pin) & 1 == 1 { w } else { bdd.not(w) })
-                        .collect();
-                    terms.push(bdd.and_all(lits));
+                    let mut lits = Vec::with_capacity(ins.len());
+                    for (pin, &w) in ins.iter().enumerate() {
+                        lits.push(if (m >> pin) & 1 == 1 { w } else { bdd.try_not(w)? });
+                    }
+                    terms.push(bdd.try_and_all(lits)?);
                 }
-                bdd.or_all(terms)
+                bdd.try_or_all(terms)?
             }
         };
         self.refs[net.index()] = Some(f);
-        f
+        Ok(f)
     }
 }
 

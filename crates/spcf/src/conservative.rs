@@ -1,0 +1,87 @@
+//! The guard-everything SPCF: the last rung of the resilience
+//! degradation ladder (DESIGN.md §7).
+//!
+//! When even the node-based over-approximation exhausts its budget, the
+//! pipeline falls back to declaring *every* input pattern a speed-path
+//! activation pattern for every structurally critical output. This is
+//! the coarsest sound over-approximation: the true SPCF is trivially a
+//! subset of the full input space, so a mask synthesized against it
+//! still satisfies the coverage invariant `Σ_y ⇒ e_y` — it simply fires
+//! on every cycle and pays duplication-level area. No BDD work beyond
+//! the constant-true node is performed, so this engine cannot exhaust
+//! any budget.
+
+use crate::common::{Algorithm, OutputSpcf, SpcfSet};
+use std::time::Instant;
+use tm_logic::bdd::Bdd;
+use tm_netlist::{Delay, Netlist};
+use tm_sta::Sta;
+
+/// Computes the guard-everything SPCF: constant-true for every output
+/// whose structural arrival exceeds `target`, mirroring the criticality
+/// filter of the real engines.
+///
+/// # Panics
+///
+/// Panics if `sta` analyzes a different netlist.
+pub fn conservative_spcf(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+) -> SpcfSet {
+    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    let _span = tm_telemetry::span!("spcf.conservative", target = target);
+    let start = Instant::now();
+    let one = bdd.one();
+    let outputs = netlist
+        .outputs()
+        .iter()
+        .filter(|&&o| sta.arrival(o) > target)
+        .map(|&o| OutputSpcf { output: o, spcf: one })
+        .collect();
+    SpcfSet {
+        algorithm: Algorithm::Conservative,
+        target,
+        outputs,
+        runtime: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::short_path::short_path_spcf;
+    use std::sync::Arc;
+    use tm_netlist::circuits::comparator2;
+    use tm_netlist::library::lsi10k_like;
+
+    #[test]
+    fn guards_exactly_the_critical_outputs() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let set = conservative_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        assert_eq!(set.algorithm, Algorithm::Conservative);
+        assert_eq!(set.outputs.len(), 1);
+        assert_eq!(set.outputs[0].spcf, bdd.one());
+        assert_eq!(set.critical_pattern_count(&bdd), 16.0);
+        // Relaxed target: nothing is critical, nothing is guarded.
+        let relaxed = conservative_spcf(&nl, &sta, &mut bdd, Delay::new(7.0));
+        assert!(relaxed.outputs.is_empty());
+    }
+
+    #[test]
+    fn contains_the_exact_spcf() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let guard = conservative_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        let exact = short_path_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        assert_eq!(guard.outputs.len(), exact.outputs.len());
+        for (g, e) in guard.outputs.iter().zip(&exact.outputs) {
+            assert_eq!(g.output, e.output);
+            assert!(bdd.is_subset(e.spcf, g.spcf));
+        }
+    }
+}

@@ -24,6 +24,7 @@ use std::time::Instant;
 use tm_logic::bdd::{Bdd, BddRef};
 use tm_logic::qm;
 use tm_netlist::{Delay, Netlist};
+use tm_resilience::{Budget, Exhausted};
 use tm_sta::Sta;
 
 /// Computes the over-approximate SPCF of every critical output with the
@@ -57,8 +58,37 @@ use tm_sta::Sta;
 /// assert!(bdd.is_subset(e, o));
 /// ```
 pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
+    try_node_based_spcf(netlist, sta, bdd, target, Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budget-checked [`node_based_spcf`]: `budget` caps BDD nodes and
+/// recursion steps for the duration of the call (the manager's previous
+/// budget is restored afterwards). On exhaustion the partial pass is
+/// abandoned with a typed [`Exhausted`] error.
+pub fn try_node_based_spcf(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+    budget: Budget,
+) -> Result<SpcfSet, Exhausted> {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
     let _span = tm_telemetry::span!("spcf.node_based", target = target);
+    let prev = bdd.budget();
+    bdd.set_budget(budget);
+    let r = node_based_rec(netlist, sta, bdd, target);
+    bdd.publish_metrics();
+    bdd.set_budget(prev);
+    r
+}
+
+fn node_based_rec(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+) -> Result<SpcfSet, Exhausted> {
     let start = Instant::now();
     let mut critical_gates = 0u64;
     let mut globals = LazyGlobals::new(netlist);
@@ -91,8 +121,8 @@ pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
             let mut lits = Vec::with_capacity(p.literal_count() as usize);
             for (pos, pol) in p.literals() {
                 let u = fanins[pos];
-                let f = globals.of(netlist, bdd, u);
-                let value = if pol { f } else { bdd.not(f) };
+                let f = globals.try_of(netlist, bdd, u)?;
+                let value = if pol { f } else { bdd.try_not(f)? };
                 // Static edge check: if the worst arrival through this
                 // edge meets the gate's required time, the literal is
                 // always on time; otherwise fall back to the fanin's own
@@ -101,13 +131,13 @@ pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
                 let lit = if edge_meets {
                     value
                 } else {
-                    bdd.and(value, on_time[u.index()])
+                    bdd.try_and(value, on_time[u.index()])?
                 };
                 lits.push(lit);
             }
-            terms.push(bdd.and_all(lits));
+            terms.push(bdd.try_and_all(lits)?);
         }
-        on_time[out.index()] = bdd.or_all(terms);
+        on_time[out.index()] = bdd.try_or_all(terms)?;
     }
 
     let mut outputs = Vec::new();
@@ -116,7 +146,7 @@ pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
             continue;
         }
         let t0 = Instant::now();
-        let spcf = bdd.not(on_time[o.index()]);
+        let spcf = bdd.try_not(on_time[o.index()])?;
         tm_telemetry::histogram_record(
             "spcf.node_based.output_ns",
             t0.elapsed().as_nanos() as f64,
@@ -124,14 +154,13 @@ pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
         outputs.push(OutputSpcf { output: o, spcf });
     }
     tm_telemetry::counter_add("spcf.node_based.critical_gates", critical_gates);
-    bdd.publish_metrics();
 
-    SpcfSet {
+    Ok(SpcfSet {
         algorithm: Algorithm::NodeBased,
         target,
         outputs,
         runtime: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use std::time::Instant;
 use tm_logic::bdd::{Bdd, BddRef};
 use tm_logic::qm;
 use tm_netlist::{Delay, Netlist};
+use tm_resilience::{Budget, Exhausted};
 use tm_sta::Sta;
 
 /// A per-net timed stabilization step function.
@@ -51,11 +52,43 @@ impl Waveform {
 /// Panics if the BDD manager is too narrow or `sta` analyzes a
 /// different netlist.
 pub fn path_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
+    try_path_based_spcf(netlist, sta, bdd, target, Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budget-checked [`path_based_spcf`]: `budget` caps BDD nodes and
+/// recursion steps for the duration of the call (the manager's previous
+/// budget is restored afterwards) plus the total number of materialized
+/// waveform breakpoints (counted against `max_memo_entries`). On
+/// exhaustion the partial analysis is abandoned with a typed
+/// [`Exhausted`] error.
+pub fn try_path_based_spcf(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+    budget: Budget,
+) -> Result<SpcfSet, Exhausted> {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
     let _span = tm_telemetry::span!("spcf.path_based", target = target);
+    let prev = bdd.budget();
+    bdd.set_budget(budget);
+    let r = path_based_rec(netlist, sta, bdd, target, budget);
+    bdd.publish_metrics();
+    bdd.set_budget(prev);
+    r
+}
+
+fn path_based_rec(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+    budget: Budget,
+) -> Result<SpcfSet, Exhausted> {
     let start = Instant::now();
     let zero = bdd.zero();
-    let waves = build_waveforms(netlist, sta, bdd);
+    let waves = build_waveforms(netlist, sta, bdd, budget)?;
 
     let qt = target.quantize();
     let mut outputs = Vec::new();
@@ -65,22 +98,21 @@ pub fn path_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
         }
         let t0 = Instant::now();
         let (s1, s0) = waves[o.index()].as_ref().expect("output wave").lookup(qt, zero);
-        let settled = bdd.or(s1, s0);
-        let spcf = bdd.not(settled);
+        let settled = bdd.try_or(s1, s0)?;
+        let spcf = bdd.try_not(settled)?;
         tm_telemetry::histogram_record(
             "spcf.path_based.output_ns",
             t0.elapsed().as_nanos() as f64,
         );
         outputs.push(OutputSpcf { output: o, spcf });
     }
-    bdd.publish_metrics();
 
-    SpcfSet {
+    Ok(SpcfSet {
         algorithm: Algorithm::PathBased,
         target,
         outputs,
         runtime: start.elapsed(),
-    }
+    })
 }
 
 /// Exact (floating-mode) stabilization delay of every primary output:
@@ -96,7 +128,8 @@ pub fn exact_output_delays(
     bdd: &mut Bdd,
 ) -> Vec<(tm_netlist::NetId, Delay)> {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
-    let waves = build_waveforms(netlist, sta, bdd);
+    let waves = build_waveforms(netlist, sta, bdd, Budget::unlimited())
+        .expect("unlimited budget cannot exhaust");
     let one = bdd.one();
     netlist
         .outputs()
@@ -117,15 +150,24 @@ pub fn exact_output_delays(
 }
 
 /// Builds the complete timed stabilization waveform of every net.
-fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Option<Waveform>> {
+///
+/// `budget.max_memo_entries` caps the total number of `(stab¹, stab⁰)`
+/// breakpoints materialized across all nets — the quantity that
+/// explodes on deep circuits with many distinct path delays.
+fn build_waveforms(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    budget: Budget,
+) -> Result<Vec<Option<Waveform>>, Exhausted> {
     assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
     let zero = bdd.zero();
 
     let mut waves: Vec<Option<Waveform>> = vec![None; netlist.num_nets()];
     let mut waveform_nodes = 0u64;
     for (pos, &net) in netlist.inputs().iter().enumerate() {
-        let lit = bdd.var(pos);
-        let nlit = bdd.not(lit);
+        let lit = bdd.try_var(pos)?;
+        let nlit = bdd.try_not(lit)?;
         waves[net.index()] = Some(Waveform { times: vec![0], stab1: vec![lit], stab0: vec![nlit] });
     }
 
@@ -150,6 +192,7 @@ fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Optio
         times.dedup();
         // One (stab¹, stab⁰) pair is materialized per breakpoint — the
         // unit of work the short-path memoization avoids.
+        budget.check_memo_entries(waveform_nodes)?;
         waveform_nodes += times.len() as u64;
 
         let mut stab1 = Vec::with_capacity(times.len());
@@ -172,7 +215,7 @@ fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Optio
                     .literals()
                     .map(|(pos, pol)| if pol { fanin_stabs[pos].0 } else { fanin_stabs[pos].1 })
                     .collect();
-                on_terms.push(bdd.and_all(lits));
+                on_terms.push(bdd.try_and_all(lits)?);
             }
             let mut off_terms = Vec::with_capacity(off_primes.len());
             for p in &off_primes {
@@ -180,10 +223,10 @@ fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Optio
                     .literals()
                     .map(|(pos, pol)| if pol { fanin_stabs[pos].0 } else { fanin_stabs[pos].1 })
                     .collect();
-                off_terms.push(bdd.and_all(lits));
+                off_terms.push(bdd.try_and_all(lits)?);
             }
-            stab1.push(bdd.or_all(on_terms));
-            stab0.push(bdd.or_all(off_terms));
+            stab1.push(bdd.try_or_all(on_terms)?);
+            stab0.push(bdd.try_or_all(off_terms)?);
         }
 
         // Compress runs of identical steps.
@@ -200,7 +243,7 @@ fn build_waveforms(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd) -> Vec<Optio
         waves[g.output().index()] = Some(Waveform { times: ct, stab1: c1, stab0: c0 });
     }
     tm_telemetry::counter_add("spcf.path_based.waveform_nodes", waveform_nodes);
-    waves
+    Ok(waves)
 }
 
 #[cfg(test)]

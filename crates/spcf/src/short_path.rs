@@ -24,6 +24,7 @@ use tm_logic::bdd::{Bdd, BddRef};
 use tm_logic::{qm, Cube};
 use tm_netlist::netlist::Driver;
 use tm_netlist::{Delay, NetId, Netlist};
+use tm_resilience::{Budget, Exhausted};
 use tm_sta::Sta;
 
 struct GateInfo {
@@ -46,6 +47,9 @@ struct Engine<'a, 'b> {
     min_arrivals_q: Vec<i64>,
     gate_info: Vec<GateInfo>,
     memo: HashMap<(u32, i64, bool), BddRef>,
+    /// Caps the memo table; BDD-node/step limits are enforced by the
+    /// manager itself (see [`Bdd::set_budget`]).
+    budget: Budget,
     stab_calls: u64,
     memo_hits: u64,
     memo_misses: u64,
@@ -54,9 +58,9 @@ struct Engine<'a, 'b> {
 impl Engine<'_, '_> {
     /// Global function of a net over the primary inputs, built on
     /// demand.
-    fn global(&mut self, net: NetId) -> BddRef {
+    fn global(&mut self, net: NetId) -> Result<BddRef, Exhausted> {
         if let Some(f) = self.globals[net.index()] {
-            return f;
+            return Ok(f);
         }
         let f = match self.netlist.driver(net) {
             Driver::PrimaryInput => {
@@ -64,67 +68,60 @@ impl Engine<'_, '_> {
                     .netlist
                     .input_position(net)
                     .expect("input-driven net is a primary input");
-                self.bdd.var(pos)
+                self.bdd.try_var(pos)?
             }
             Driver::Gate(gate) => {
                 let info_idx = gate.index();
                 let fanin_count = self.gate_info[info_idx].fanins.len();
-                let fanin_fns: Vec<BddRef> = (0..fanin_count)
-                    .map(|pos| {
-                        let fanin = self.gate_info[info_idx].fanins[pos];
-                        self.global(fanin)
-                    })
-                    .collect();
+                let mut fanin_fns = Vec::with_capacity(fanin_count);
+                for pos in 0..fanin_count {
+                    let fanin = self.gate_info[info_idx].fanins[pos];
+                    fanin_fns.push(self.global(fanin)?);
+                }
                 let prime_count = self.gate_info[info_idx].on_primes.len();
                 let mut terms = Vec::with_capacity(prime_count);
                 for pi in 0..prime_count {
                     let prime = self.gate_info[info_idx].on_primes[pi];
-                    let lits: Vec<BddRef> = prime
-                        .literals()
-                        .map(|(pos, pol)| {
-                            let f = fanin_fns[pos];
-                            if pol {
-                                f
-                            } else {
-                                self.bdd.not(f)
-                            }
-                        })
-                        .collect();
-                    terms.push(self.bdd.and_all(lits));
+                    let mut lits = Vec::with_capacity(prime.literal_count() as usize);
+                    for (pos, pol) in prime.literals() {
+                        let f = fanin_fns[pos];
+                        lits.push(if pol { f } else { self.bdd.try_not(f)? });
+                    }
+                    terms.push(self.bdd.try_and_all(lits)?);
                 }
-                self.bdd.or_all(terms)
+                self.bdd.try_or_all(terms)?
             }
         };
         self.globals[net.index()] = Some(f);
-        f
+        Ok(f)
     }
 
     /// Patterns for which `net` has settled to `phase` by time `qt`
     /// (quantized).
-    fn stab(&mut self, net: NetId, qt: i64, phase: bool) -> BddRef {
+    fn stab(&mut self, net: NetId, qt: i64, phase: bool) -> Result<BddRef, Exhausted> {
         self.stab_calls += 1;
         // Settled for sure once the worst-case arrival has passed.
         if qt >= self.arrivals_q[net.index()] {
-            let f = self.global(net);
-            return if phase { f } else { self.bdd.not(f) };
+            let f = self.global(net)?;
+            return if phase { Ok(f) } else { self.bdd.try_not(f) };
         }
         // Nothing can settle before the shortest-path arrival.
         if qt < self.min_arrivals_q[net.index()] {
-            return self.bdd.zero();
+            return Ok(self.bdd.zero());
         }
         let gate = match self.netlist.driver(net) {
             // A primary input queried before time 0 (arrival 0 was
             // handled above).
-            Driver::PrimaryInput => return self.bdd.zero(),
+            Driver::PrimaryInput => return Ok(self.bdd.zero()),
             Driver::Gate(g) => g,
         };
         if qt <= 0 {
-            return self.bdd.zero(); // positive-delay logic cannot settle by 0
+            return Ok(self.bdd.zero()); // positive-delay logic cannot settle by 0
         }
         let key = (net.index() as u32, qt, phase);
         if let Some(&r) = self.memo.get(&key) {
             self.memo_hits += 1;
-            return r;
+            return Ok(r);
         }
         self.memo_misses += 1;
         let info_idx = gate.index();
@@ -144,13 +141,14 @@ impl Engine<'_, '_> {
             for (pos, pol) in prime.literals() {
                 let fanin = self.gate_info[info_idx].fanins[pos];
                 let dq = self.gate_info[info_idx].delays_q[pos];
-                lits.push(self.stab(fanin, qt - dq, pol));
+                lits.push(self.stab(fanin, qt - dq, pol)?);
             }
-            terms.push(self.bdd.and_all(lits));
+            terms.push(self.bdd.try_and_all(lits)?);
         }
-        let r = self.bdd.or_all(terms);
+        let r = self.bdd.try_or_all(terms)?;
+        self.budget.check_memo_entries(self.memo.len() as u64)?;
         self.memo.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Publishes the engine's memoization counters and the manager's
@@ -196,22 +194,50 @@ impl Engine<'_, '_> {
 /// assert_eq!(set.critical_pattern_count(&bdd), 10.0);
 /// ```
 pub fn short_path_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: Delay) -> SpcfSet {
+    try_short_path_spcf(netlist, sta, bdd, target, Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budget-checked [`short_path_spcf`]: the `budget` caps BDD nodes and
+/// recursion steps (installed on the manager for the duration of the
+/// call, then restored) plus the engine's stabilization memo; on
+/// exhaustion the partial computation is abandoned and a typed
+/// [`Exhausted`] error is returned.
+pub fn try_short_path_spcf(
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+    budget: Budget,
+) -> Result<SpcfSet, Exhausted> {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
     let _span = tm_telemetry::span!("spcf.short_path", target = target);
     let start = Instant::now();
-    let mut engine = build_engine(netlist, sta, bdd);
+    let prev = bdd.budget();
+    bdd.set_budget(budget);
+    let mut engine = build_engine(netlist, sta, bdd, budget);
 
     let qt = target.quantize();
     let mut outputs = Vec::new();
-    for &o in netlist.outputs() {
+    let mut failed = None;
+    'outputs: for &o in netlist.outputs() {
         if sta.arrival(o) <= target {
             continue; // not a critical output
         }
         let t0 = Instant::now();
-        let s1 = engine.stab(o, qt, true);
-        let s0 = engine.stab(o, qt, false);
-        let settled = engine.bdd.or(s1, s0);
-        let spcf = engine.bdd.not(settled);
+        let spcf = (|| {
+            let s1 = engine.stab(o, qt, true)?;
+            let s0 = engine.stab(o, qt, false)?;
+            let settled = engine.bdd.try_or(s1, s0)?;
+            engine.bdd.try_not(settled)
+        })();
+        let spcf = match spcf {
+            Ok(s) => s,
+            Err(e) => {
+                failed = Some(e);
+                break 'outputs;
+            }
+        };
         tm_telemetry::histogram_record(
             "spcf.short_path.output_ns",
             t0.elapsed().as_nanos() as f64,
@@ -219,13 +245,17 @@ pub fn short_path_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
         outputs.push(OutputSpcf { output: o, spcf });
     }
     engine.publish_metrics();
+    bdd.set_budget(prev);
+    if let Some(e) = failed {
+        return Err(e);
+    }
 
-    SpcfSet {
+    Ok(SpcfSet {
         algorithm: Algorithm::ShortPath,
         target,
         outputs,
         runtime: start.elapsed(),
-    }
+    })
 }
 
 /// Computes the short-path SPCF of a *single* net at an arbitrary target
@@ -238,19 +268,27 @@ pub fn short_path_spcf_of_net(
     net: NetId,
     target: Delay,
 ) -> BddRef {
-    let mut engine = build_engine(netlist, sta, bdd);
+    let mut engine = build_engine(netlist, sta, bdd, Budget::unlimited());
     let qt = target.quantize();
-    let s1 = engine.stab(net, qt, true);
-    let s0 = engine.stab(net, qt, false);
-    let settled = engine.bdd.or(s1, s0);
-    let r = engine.bdd.not(settled);
+    let r = (|| {
+        let s1 = engine.stab(net, qt, true)?;
+        let s0 = engine.stab(net, qt, false)?;
+        let settled = engine.bdd.try_or(s1, s0)?;
+        engine.bdd.try_not(settled)
+    })()
+    .expect("unlimited budget cannot exhaust");
     engine.publish_metrics();
     r
 }
 
 /// Builds the shared recursion state: cached gate primes, worst- and
 /// best-case arrivals, and empty lazy-global / memo tables.
-fn build_engine<'a, 'b>(netlist: &'a Netlist, sta: &Sta<'a>, bdd: &'b mut Bdd) -> Engine<'a, 'b> {
+fn build_engine<'a, 'b>(
+    netlist: &'a Netlist,
+    sta: &Sta<'a>,
+    bdd: &'b mut Bdd,
+    budget: Budget,
+) -> Engine<'a, 'b> {
     assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
     let arrivals_q: Vec<i64> = sta.arrivals().iter().map(|d| d.quantize()).collect();
 
@@ -290,6 +328,7 @@ fn build_engine<'a, 'b>(netlist: &'a Netlist, sta: &Sta<'a>, bdd: &'b mut Bdd) -
         min_arrivals_q,
         gate_info,
         memo: HashMap::new(),
+        budget,
         stab_calls: 0,
         memo_hits: 0,
         memo_misses: 0,

@@ -1,0 +1,87 @@
+//! Budgeted-engine behavior: typed exhaustion instead of runaway
+//! computation, and soundness of what a budget can never change.
+
+use std::sync::Arc;
+use tm_logic::Bdd;
+use tm_netlist::circuits::ripple_adder;
+use tm_netlist::generate::{generate, GeneratorSpec};
+use tm_netlist::library::lsi10k_like;
+use tm_resilience::{Budget, Resource};
+use tm_spcf::{
+    try_node_based_spcf, try_path_based_spcf, try_short_path_spcf,
+};
+use tm_sta::Sta;
+
+#[test]
+fn unlimited_budget_matches_infallible_api() {
+    let nl = ripple_adder(Arc::new(lsi10k_like()), 3);
+    let sta = Sta::new(&nl);
+    let target = sta.critical_path_delay() * 0.9;
+    let mut bdd = Bdd::new(nl.inputs().len());
+    let a = try_short_path_spcf(&nl, &sta, &mut bdd, target, Budget::unlimited()).unwrap();
+    let b = tm_spcf::short_path_spcf(&nl, &sta, &mut bdd, target);
+    assert_eq!(a.outputs.len(), b.outputs.len());
+    for (x, y) in a.outputs.iter().zip(&b.outputs) {
+        assert_eq!(x.output, y.output);
+        assert_eq!(x.spcf, y.spcf);
+    }
+}
+
+#[test]
+fn tiny_memo_budget_exhausts_short_path() {
+    let _scope = tm_telemetry::Scope::enter();
+    let lib = Arc::new(lsi10k_like());
+    let nl = generate(&GeneratorSpec::sized("budget_sp", 12, 4, 56), lib.clone());
+    let sta = Sta::new(&nl);
+    let target = sta.critical_path_delay() * 0.9;
+    let mut bdd = Bdd::new(nl.inputs().len());
+    let budget = Budget::unlimited().with_max_memo_entries(2);
+    let err = try_short_path_spcf(&nl, &sta, &mut bdd, target, budget)
+        .expect_err("a 2-entry memo cannot cover a 56-gate netlist");
+    assert_eq!(err.resource, Resource::MemoEntries);
+    assert_eq!(err.limit, 2);
+    let snap = tm_telemetry::snapshot();
+    assert!(snap.counter("resilience.budget.exhausted").unwrap_or(0) >= 1);
+    // The engine restored the manager's own (unlimited) budget.
+    assert!(bdd.budget().is_unlimited());
+}
+
+#[test]
+fn tiny_node_budget_exhausts_all_engines() {
+    let lib = Arc::new(lsi10k_like());
+    let nl = generate(&GeneratorSpec::sized("budget_all", 12, 4, 56), lib.clone());
+    let sta = Sta::new(&nl);
+    let target = sta.critical_path_delay() * 0.9;
+    let budget = Budget::unlimited().with_max_bdd_nodes(8);
+
+    let mut b1 = Bdd::new(nl.inputs().len());
+    assert!(try_short_path_spcf(&nl, &sta, &mut b1, target, budget).is_err());
+    let mut b2 = Bdd::new(nl.inputs().len());
+    assert!(try_path_based_spcf(&nl, &sta, &mut b2, target, budget).is_err());
+    let mut b3 = Bdd::new(nl.inputs().len());
+    assert!(try_node_based_spcf(&nl, &sta, &mut b3, target, budget).is_err());
+    // The cap really held: no manager grew past the limit.
+    for b in [&b1, &b2, &b3] {
+        assert!(b.node_count() as u64 <= 8, "{} nodes escaped the cap", b.node_count());
+    }
+}
+
+#[test]
+fn waveform_budget_exhausts_path_based_only() {
+    // max_memo_entries caps the short-path memo AND the path-based
+    // waveform store; the node-based pass has neither and must succeed
+    // under the same budget — the property the degradation ladder
+    // relies on.
+    let lib = Arc::new(lsi10k_like());
+    let nl = generate(&GeneratorSpec::sized("budget_nb", 12, 4, 56), lib.clone());
+    let sta = Sta::new(&nl);
+    let target = sta.critical_path_delay() * 0.9;
+    let budget = Budget::unlimited().with_max_memo_entries(4);
+
+    let mut b1 = Bdd::new(nl.inputs().len());
+    assert!(try_path_based_spcf(&nl, &sta, &mut b1, target, budget).is_err());
+    let mut b2 = Bdd::new(nl.inputs().len());
+    let nb = try_node_based_spcf(&nl, &sta, &mut b2, target, budget)
+        .expect("node-based has no memo to exhaust");
+    assert!(!nb.outputs.is_empty());
+}

@@ -55,6 +55,10 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     // tm-monitor: trace capture.
     ("monitor.trace.captured", MetricKind::Counter),
     ("monitor.trace.dropped", MetricKind::Counter),
+    // tm-resilience: budgets and the masking degradation ladder.
+    ("resilience.budget.exhausted", MetricKind::Counter),
+    ("resilience.fallback.node_based", MetricKind::Counter),
+    ("resilience.fallback.conservative", MetricKind::Counter),
 ];
 
 /// Every span name the workspace may open.
@@ -62,6 +66,7 @@ pub const KNOWN_SPANS: &[&str] = &[
     "spcf.short_path",
     "spcf.path_based",
     "spcf.node_based",
+    "spcf.conservative",
     "masking.synthesize",
     "masking.spcf",
     "masking.extract",

@@ -44,9 +44,10 @@ fn main() {
     // 4. Dynamic demonstration: age the gates 8% and clock at Δ. The
     // speed-paths now miss the clock; the masking circuit hides it.
     let clock = delta;
-    let aged = uniform_aging(&result.design, 1.08);
+    let aged = uniform_aging(&result.design, 1.08).expect("valid factor");
     let workload = random_vectors(circuit.inputs().len(), 2000, 42);
-    let outcome = inject_and_measure(&result.design, &aged, clock, &workload);
+    let outcome =
+        inject_and_measure(&result.design, &aged, clock, &workload).expect("valid run");
     println!("\naged silicon (8% slower), {} cycles at clock Δ:", outcome.cycles);
     println!("  raw timing errors   : {}", outcome.raw_errors);
     println!("  masked output errors: {}", outcome.masked_errors);

@@ -28,14 +28,18 @@ fn main() {
     );
 
     let session = DebugSession::new(&result.design);
-    let scale = uniform_aging(&result.design, 1.0);
+    let scale = uniform_aging(&result.design, 1.0).expect("valid factor");
     let workload = random_vectors(circuit.inputs().len(), 6000, 77);
 
     println!("\nbuffer   always-capture   selective-capture   window");
     println!("capacity window           window              expansion");
     for capacity in [16usize, 64, 256] {
-        let always = session.run(&scale, &workload, capacity, CapturePolicy::Always);
-        let selective = session.run(&scale, &workload, capacity, CapturePolicy::OnSpeedPath);
+        let always = session
+            .run(&scale, &workload, capacity, CapturePolicy::Always)
+            .expect("valid session");
+        let selective = session
+            .run(&scale, &workload, capacity, CapturePolicy::OnSpeedPath)
+            .expect("valid session");
         let expansion = selective.window as f64 / always.window.max(1) as f64;
         println!(
             "{:>8} {:>16} {:>19} {:>8.1}x",

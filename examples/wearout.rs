@@ -45,7 +45,7 @@ fn main() {
         pool_bias: 0.3,
         ..Default::default()
     };
-    let stats = run_lifetime(&result.design, &config);
+    let stats = run_lifetime(&result.design, &config).expect("valid lifetime config");
 
     println!("\nepoch  stress  speed-path  masked   escaped  error");
     println!("               activations  errors   errors   rate");

@@ -10,6 +10,13 @@
 #    emitted metrics snapshot against the closed schema registry
 #    (unknown metric names, malformed histograms, or a schema-version
 #    bump all fail CI here, not in a downstream dashboard).
+# 4. Panic audit (DESIGN.md §7): non-test library code may only contain
+#    panic-capable calls (`unwrap()`, `expect(`, `panic!(`) in files
+#    allowlisted — with justification — in scripts/panic_allowlist.txt.
+#    Untrusted-input paths (parsers, runtime entry points) must return
+#    `TmError` instead. Stale allowlist entries fail too.
+# 5. Fuzz smoke: the mutation-based BLIF parser fuzz suite (hundreds of
+#    adversarial documents; any panic fails the run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,5 +49,41 @@ cargo bench -q --offline -p tm-bench --bench spcf_algorithms -- \
     --samples 1 --smoke --metrics-out "$metrics_json"
 test -s "$metrics_json" || { echo "ERROR: bench wrote no metrics snapshot" >&2; exit 1; }
 cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- "$metrics_json"
+
+echo "== panic audit (non-test library code) =="
+audit=$(mktemp)
+# Everything before the first `#[cfg(test)]` in each library source file
+# (test modules sit at the end of files in this workspace); demo binaries
+# under src/bin/ are not library code. Comment-only lines are skipped.
+find crates/*/src src -name '*.rs' ! -path '*/bin/*' | sort | while read -r f; do
+    awk -v F="$f" '/#\[cfg\(test\)\]/{exit} {print F":"FNR": "$0}' "$f"
+done | grep -E '\.unwrap\(\)|\.expect\(|panic!\(' \
+     | grep -vE ':[0-9]+: *//' > "$audit" || true
+offenders=$(cut -d: -f1 "$audit" | sort -u)
+audit_fail=0
+for f in $offenders; do
+    if ! grep -qxF "$f" scripts/panic_allowlist.txt; then
+        echo "ERROR: $f has panic-capable calls but is not allowlisted:" >&2
+        grep "^$f:" "$audit" >&2
+        audit_fail=1
+    fi
+done
+while read -r entry; do
+    case "$entry" in ''|\#*) continue ;; esac
+    if ! printf '%s\n' "$offenders" | grep -qxF "$entry"; then
+        echo "ERROR: stale allowlist entry: $entry (no panic-capable calls remain)" >&2
+        audit_fail=1
+    fi
+done < scripts/panic_allowlist.txt
+if [ "$audit_fail" -ne 0 ]; then
+    echo "Convert the panic to a TmError (untrusted input) or justify the" >&2
+    echo "file in scripts/panic_allowlist.txt (see DESIGN.md §7)." >&2
+    exit 1
+fi
+rm -f "$audit"
+echo "ok: every panic-capable library file is allowlisted"
+
+echo "== parser fuzz smoke =="
+cargo test -q --offline -p tm-netlist --test blif_fuzz
 
 echo "CI OK"

@@ -7,7 +7,9 @@
 //! ([`netlist`]), static timing analysis ([`sta`]), functional and
 //! event-driven timing simulation ([`sim`]), the three SPCF engines of
 //! §3 ([`spcf`]), the error-masking synthesis of §4 ([`masking`]), and
-//! the §2.1 runtime applications ([`monitor`]).
+//! the §2.1 runtime applications ([`monitor`]). Deterministic
+//! computation budgets, the typed [`TmError`], and the synthesis
+//! degradation ladder live in [`resilience`] (DESIGN.md §7).
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@ pub use tm_logic as logic;
 pub use tm_masking as masking;
 pub use tm_monitor as monitor;
 pub use tm_netlist as netlist;
+pub use tm_resilience as resilience;
 pub use tm_sim as sim;
 pub use tm_spcf as spcf;
 pub use tm_sta as sta;
@@ -44,3 +47,4 @@ pub use tm_telemetry as telemetry;
 
 pub use tm_masking::{synthesize, MaskingOptions, MaskingResult};
 pub use tm_netlist::Delay;
+pub use tm_resilience::{Budget, TmError, TmResult};

@@ -32,13 +32,14 @@ fn check_full_pipeline(nl: &Netlist) {
     // Dynamic check: 8% aging at the nominal clock. Uniform workload
     // plus SPCF-drawn stress patterns so speed-paths actually fire.
     let clock = Sta::new(nl).critical_path_delay();
-    let scale = uniform_aging(&result.design, 1.08);
+    let scale = uniform_aging(&result.design, 1.08).expect("valid factor");
     let mut vectors = random_vectors(nl.inputs().len(), 300, 0xE2E);
     let stress = speedpath_patterns(&result, 100, 0x57E);
     for (k, s) in stress.into_iter().enumerate() {
         vectors.insert((k * 3 + 1) % vectors.len(), s);
     }
-    let outcome = inject_and_measure(&result.design, &scale, clock, &vectors);
+    let outcome =
+        inject_and_measure(&result.design, &scale, clock, &vectors).expect("valid run");
     assert!(outcome.raw_errors > 0, "{}: stress workload produced no raw errors", nl.name());
     assert_eq!(outcome.masked_errors, 0, "{}: {:?}", nl.name(), outcome);
 }
@@ -92,7 +93,7 @@ fn wearout_monitoring_detects_aging_without_escapes() {
         pool_bias: 0.4,
         ..Default::default()
     };
-    let stats = run_lifetime(&result.design, &config);
+    let stats = run_lifetime(&result.design, &config).expect("valid lifetime config");
     assert_eq!(stats[0].detected_errors, 0, "fresh silicon is clean");
     assert!(stats.last().unwrap().detected_errors > 0, "aged silicon shows masked errors");
     assert!(stats.iter().all(|s| s.escapes == 0), "no error may escape: {stats:?}");
@@ -106,10 +107,14 @@ fn selective_trace_capture_expands_window() {
     let nl = smoke_suite()[0].build(lib);
     let result = synthesize(&nl, MaskingOptions::default());
     let session = DebugSession::new(&result.design);
-    let scale = uniform_aging(&result.design, 1.0);
+    let scale = uniform_aging(&result.design, 1.0).expect("valid factor");
     let vectors = random_vectors(nl.inputs().len(), 800, 31);
-    let always = session.run(&scale, &vectors, 24, CapturePolicy::Always);
-    let selective = session.run(&scale, &vectors, 24, CapturePolicy::OnSpeedPath);
+    let always = session
+        .run(&scale, &vectors, 24, CapturePolicy::Always)
+        .expect("valid session");
+    let selective = session
+        .run(&scale, &vectors, 24, CapturePolicy::OnSpeedPath)
+        .expect("valid session");
     assert_eq!(always.window, 24);
     assert!(selective.window >= always.window);
 }
