@@ -11,6 +11,7 @@ use tm_testkit::bench::BenchGroup;
 
 fn main() {
     let args = BenchArgs::parse();
+    let base = MaskingOptions { jobs: args.jobs(), ..Default::default() };
     let lib = harness_library();
 
     let nl = smoke_suite()[0].build(lib.clone());
@@ -18,14 +19,14 @@ fn main() {
     group.sample_size(10);
     args.apply(&mut group);
     group.bench("essential_weight", || {
-        black_box(synthesize(&nl, MaskingOptions::default()).design.masking.area())
+        black_box(synthesize(&nl, base).design.masking.area())
     });
     group.bench("full_cover", || {
-        let opts = MaskingOptions { cube_selection: CubeSelection::FullCover, ..Default::default() };
+        let opts = MaskingOptions { cube_selection: CubeSelection::FullCover, ..base };
         black_box(synthesize(&nl, opts).design.masking.area())
     });
     group.bench("duplication_baseline", || {
-        black_box(duplication_masking(&nl, MaskingOptions::default()).design.masking.area())
+        black_box(duplication_masking(&nl, base).design.masking.area())
     });
     group.finish();
 
@@ -37,7 +38,7 @@ fn main() {
         group.bench(&format!("max_support/{k}"), || {
             let opts = MaskingOptions {
                 extract: ExtractOptions { max_support: k },
-                ..Default::default()
+                ..base
             };
             black_box(synthesize(&nl, opts).design.masking.area())
         });

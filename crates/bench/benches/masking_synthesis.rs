@@ -11,6 +11,7 @@ use tm_testkit::bench::BenchGroup;
 fn main() {
     let args = BenchArgs::parse();
     let lib = harness_library();
+    let options = MaskingOptions { jobs: args.jobs(), ..Default::default() };
 
     let mut group = BenchGroup::new("masking_synthesis");
     group.sample_size(10);
@@ -18,7 +19,7 @@ fn main() {
     for entry in smoke_suite() {
         let nl = entry.build(lib.clone());
         group.bench(&format!("synthesize/{}", entry.name), || {
-            black_box(synthesize(&nl, MaskingOptions::default()).report.critical_outputs)
+            black_box(synthesize(&nl, options).report.critical_outputs)
         });
     }
     group.finish();
@@ -28,7 +29,7 @@ fn main() {
     args.apply(&mut group);
     let nl = smoke_suite()[0].build(lib);
     group.bench("verify_i1", || {
-        let mut result = synthesize(&nl, MaskingOptions::default());
+        let mut result = synthesize(&nl, options);
         black_box(verify(&mut result).all_ok())
     });
     group.finish();

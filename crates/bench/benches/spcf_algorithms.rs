@@ -1,15 +1,16 @@
 //! Benchmarks for the three SPCF engines (Table 1 kernels), on the
 //! in-repo `tm-testkit` harness (JSON report in `target/tm-bench/`).
 //!
-//! Flags (see [`BenchArgs`]): `--samples N`, `--metrics-out PATH`, and
+//! Flags (see [`BenchArgs`]): `--samples N`, `--metrics-out PATH`,
 //! `--smoke` to run the small smoke suite instead of the three largest
-//! Table 1 circuits.
+//! Table 1 circuits, and `--jobs N` to shard critical outputs across N
+//! workers (recorded in the report's `meta.jobs`).
 
 use std::hint::black_box;
 use tm_bench::{harness_library, BenchArgs};
 use tm_logic::Bdd;
 use tm_netlist::suites::{smoke_suite, table1_suite};
-use tm_spcf::{node_based_spcf, path_based_spcf, short_path_spcf};
+use tm_spcf::{spcf_with, Algorithm, SpcfOptions};
 use tm_sta::Sta;
 use tm_testkit::bench::BenchGroup;
 
@@ -19,23 +20,22 @@ fn main() {
     let mut group = BenchGroup::new("spcf_algorithms");
     group.sample_size(10);
     args.apply(&mut group);
+    let options = SpcfOptions::default().with_jobs(args.jobs());
     let suite = if args.smoke { smoke_suite() } else { table1_suite() };
     for entry in suite.iter().take(3) {
         let nl = entry.build(lib.clone());
         let sta = Sta::new(&nl);
         let target = sta.critical_path_delay() * 0.9;
-        group.bench(&format!("node_based/{}", entry.name), || {
-            let mut bdd = Bdd::new(nl.inputs().len());
-            black_box(node_based_spcf(&nl, &sta, &mut bdd, target).outputs.len())
-        });
-        group.bench(&format!("path_based/{}", entry.name), || {
-            let mut bdd = Bdd::new(nl.inputs().len());
-            black_box(path_based_spcf(&nl, &sta, &mut bdd, target).outputs.len())
-        });
-        group.bench(&format!("short_path/{}", entry.name), || {
-            let mut bdd = Bdd::new(nl.inputs().len());
-            black_box(short_path_spcf(&nl, &sta, &mut bdd, target).outputs.len())
-        });
+        for (id, algorithm) in [
+            ("node_based", Algorithm::NodeBased),
+            ("path_based", Algorithm::PathBased),
+            ("short_path", Algorithm::ShortPath),
+        ] {
+            group.bench(&format!("{id}/{}", entry.name), || {
+                let mut bdd = Bdd::new(nl.inputs().len());
+                black_box(spcf_with(algorithm, &nl, &sta, &mut bdd, target, &options).outputs.len())
+            });
+        }
     }
     group.finish();
     args.write_metrics();

@@ -19,20 +19,22 @@ use tm_masking::{
 };
 use tm_netlist::extract::ExtractOptions;
 use tm_netlist::suites::smoke_suite;
+use tm_spcf::SpcfOptions;
 use tm_sim::patterns::random_vectors;
 use tm_sta::Sta;
 
 fn main() {
     let lib = harness_library();
+    let base = MaskingOptions { jobs: SpcfOptions::jobs_from_env(), ..Default::default() };
     let circuits: Vec<_> = smoke_suite().iter().map(|e| e.build(lib.clone())).collect();
 
     println!("Ablation 1: essential-weight cube selection vs full covers");
     println!("{:<12} {:>16} {:>16} {:>12}", "circuit", "essential area%", "full-cover area%", "saving");
     for nl in &circuits {
-        let essential = synthesize(nl, MaskingOptions::default());
+        let essential = synthesize(nl, base);
         let full = synthesize(
             nl,
-            MaskingOptions { cube_selection: CubeSelection::FullCover, ..Default::default() },
+            MaskingOptions { cube_selection: CubeSelection::FullCover, ..base },
         );
         let ea = essential.report.area_overhead_percent;
         let fa = full.report.area_overhead_percent;
@@ -46,7 +48,7 @@ fn main() {
         for k in [4usize, 8, 12, 16] {
             let opts = MaskingOptions {
                 extract: ExtractOptions { max_support: k },
-                ..Default::default()
+                ..base
             };
             let r = synthesize(nl, opts);
             cols.push(format!("{:>9.1}%", r.report.area_overhead_percent));
@@ -59,7 +61,7 @@ fn main() {
     for nl in &circuits {
         let mut cols = Vec::new();
         for frac in [0.80, 0.85, 0.90, 0.95] {
-            let opts = MaskingOptions { target_fraction: frac, ..Default::default() };
+            let opts = MaskingOptions { target_fraction: frac, ..base };
             let r = synthesize(nl, opts);
             cols.push(format!("{:>9.1}%", r.report.area_overhead_percent));
         }
@@ -72,8 +74,8 @@ fn main() {
         "circuit", "dup slack%", "proposed slack%", "dup escapes(aged)", "proposed escapes"
     );
     for nl in &circuits {
-        let dup = duplication_masking(nl, MaskingOptions::default());
-        let proposed = synthesize(nl, MaskingOptions::default());
+        let dup = duplication_masking(nl, base);
+        let proposed = synthesize(nl, base);
         let clock = Sta::new(nl).critical_path_delay();
         let vectors = random_vectors(nl.inputs().len(), 400, 7);
         let dup_scale = uniform_aging(&dup.design, 1.08).expect("valid factor");

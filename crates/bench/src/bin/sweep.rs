@@ -12,11 +12,13 @@ use tm_bench::harness_library;
 use tm_logic::Bdd;
 use tm_masking::{synthesize, MaskingOptions};
 use tm_netlist::suites::table1_suite;
-use tm_spcf::short_path_spcf;
+use tm_spcf::{spcf_with, Algorithm, SpcfOptions};
 use tm_sta::Sta;
 
 fn main() {
     let lib = harness_library();
+    let jobs = SpcfOptions::jobs_from_env();
+    let spcf_options = SpcfOptions::default().with_jobs(jobs);
     println!("Protection-band sweep (short-path SPCF; stand-in circuits)");
     for entry in table1_suite().iter().take(3) {
         let nl = entry.build(lib.clone());
@@ -33,7 +35,7 @@ fn main() {
             let frac = pct as f64 / 100.0;
             let target = delta * frac;
             let mut bdd = Bdd::new(nl.inputs().len());
-            let spcf = short_path_spcf(&nl, &sta, &mut bdd, target);
+            let spcf = spcf_with(Algorithm::ShortPath, &nl, &sta, &mut bdd, target, &spcf_options);
             // Mean per-output SPCF fraction of the input space.
             let fractions: Vec<f64> = spcf
                 .outputs
@@ -45,7 +47,7 @@ fn main() {
             } else {
                 fractions.iter().sum::<f64>() / fractions.len() as f64
             };
-            let opts = MaskingOptions { target_fraction: frac, ..Default::default() };
+            let opts = MaskingOptions { target_fraction: frac, jobs, ..Default::default() };
             let r = synthesize(&nl, opts);
             println!(
                 "  {:.2}   {:>8}   {:>13.3e}   {:>13.1}   {:>14.1}",

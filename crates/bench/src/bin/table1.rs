@@ -2,13 +2,17 @@
 //! speed-path characteristic function with the three approaches.
 //!
 //! Run with: `cargo run -p tm-bench --release --bin table1`
+//! (set `TM_SPCF_JOBS=N` to shard each engine's critical outputs
+//! across N workers — the pattern counts are identical for every N).
 
 use tm_bench::{harness_library, run_table1_row, seconds};
 use tm_netlist::suites::table1_suite;
+use tm_spcf::SpcfOptions;
 
 fn main() {
     let lib = harness_library();
-    println!("Table 1: accuracy vs runtime for computing the SPCF (Δ_y = 0.9Δ)");
+    let jobs = SpcfOptions::jobs_from_env();
+    println!("Table 1: accuracy vs runtime for computing the SPCF (Δ_y = 0.9Δ, jobs = {jobs})");
     println!("(critical patterns summed over critical outputs; stand-in circuits, see DESIGN.md)");
     println!();
     println!(
@@ -28,7 +32,7 @@ fn main() {
     let mut sp_vs_nb = 0.0;
     let rows: Vec<_> = table1_suite()
         .iter()
-        .map(|e| run_table1_row(e, lib.clone()))
+        .map(|e| run_table1_row(e, lib.clone(), jobs))
         .collect();
     for row in &rows {
         println!(

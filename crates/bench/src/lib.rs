@@ -25,7 +25,7 @@ use tm_masking::{synthesize, verify, MaskingOptions, MaskingResult};
 use tm_netlist::library::{lsi10k_like, Library};
 use tm_netlist::suites::SuiteEntry;
 use tm_netlist::Netlist;
-use tm_spcf::{node_based_spcf, path_based_spcf, short_path_spcf};
+use tm_spcf::{spcf_with, Algorithm, SpcfOptions};
 use tm_sta::Sta;
 
 /// One algorithm's measurement in a Table 1 row.
@@ -54,19 +54,18 @@ pub struct Table1Row {
     pub short_path: SpcfMeasurement,
 }
 
-/// Runs the three SPCF engines on one suite circuit at `Δ_y = 0.9Δ`.
-pub fn run_table1_row(entry: &SuiteEntry, library: Arc<Library>) -> Table1Row {
+/// Runs the three SPCF engines on one suite circuit at `Δ_y = 0.9Δ`,
+/// sharding critical outputs across `jobs` workers (1 = serial; the
+/// pattern counts are identical for every value).
+pub fn run_table1_row(entry: &SuiteEntry, library: Arc<Library>, jobs: usize) -> Table1Row {
     let nl = entry.build(library);
     let sta = Sta::new(&nl);
     let target = sta.critical_path_delay() * 0.9;
+    let options = SpcfOptions::default().with_jobs(jobs);
 
-    let measure = |which: u8, nl: &Netlist, sta: &Sta<'_>| -> SpcfMeasurement {
+    let measure = |algorithm: Algorithm, nl: &Netlist, sta: &Sta<'_>| -> SpcfMeasurement {
         let mut bdd = Bdd::new(nl.inputs().len());
-        let set = match which {
-            0 => node_based_spcf(nl, sta, &mut bdd, target),
-            1 => path_based_spcf(nl, sta, &mut bdd, target),
-            _ => short_path_spcf(nl, sta, &mut bdd, target),
-        };
+        let set = spcf_with(algorithm, nl, sta, &mut bdd, target, &options);
         SpcfMeasurement {
             critical_patterns: set.critical_pattern_count(&bdd),
             runtime: set.runtime,
@@ -77,9 +76,9 @@ pub fn run_table1_row(entry: &SuiteEntry, library: Arc<Library>) -> Table1Row {
         circuit: entry.name.to_string(),
         io: (nl.inputs().len(), nl.outputs().len()),
         gates: nl.num_gates(),
-        node_based: measure(0, &nl, &sta),
-        path_based: measure(1, &nl, &sta),
-        short_path: measure(2, &nl, &sta),
+        node_based: measure(Algorithm::NodeBased, &nl, &sta),
+        path_based: measure(Algorithm::PathBased, &nl, &sta),
+        short_path: measure(Algorithm::ShortPath, &nl, &sta),
     }
 }
 
@@ -95,10 +94,11 @@ pub struct Table2Row {
     pub verified: bool,
 }
 
-/// Synthesizes and verifies masking for one suite circuit.
-pub fn run_table2_row(entry: &SuiteEntry, library: Arc<Library>) -> Table2Row {
+/// Synthesizes and verifies masking for one suite circuit, with `jobs`
+/// SPCF workers.
+pub fn run_table2_row(entry: &SuiteEntry, library: Arc<Library>, jobs: usize) -> Table2Row {
     let nl = entry.build(library);
-    let mut result = synthesize(&nl, MaskingOptions::default());
+    let mut result = synthesize(&nl, MaskingOptions { jobs, ..Default::default() });
     let verdict = verify(&mut result);
     Table2Row {
         coverage: verdict.coverage(),
@@ -121,7 +121,9 @@ pub fn harness_library() -> Arc<Library> {
 ///   the JSON snapshot to PATH on [`BenchArgs::write_metrics`]
 ///   (`TM_METRICS_OUT` is the env equivalent);
 /// - `--smoke` — benches that offer it substitute a small fast circuit
-///   suite (CI uses this to validate the metrics pipeline cheaply).
+///   suite (CI uses this to validate the metrics pipeline cheaply);
+/// - `--jobs N` — SPCF worker threads ([`tm_spcf::JOBS_ENV`] is the env
+///   equivalent; the flag wins). Results are identical for every value.
 ///
 /// Unrecognized flags (e.g. cargo's own `--bench`) are ignored.
 #[derive(Clone, Debug, Default)]
@@ -132,6 +134,8 @@ pub struct BenchArgs {
     pub metrics_out: Option<String>,
     /// Prefer the small smoke suite over the full workload.
     pub smoke: bool,
+    /// SPCF worker-count override (`--jobs`).
+    pub jobs: Option<usize>,
 }
 
 impl BenchArgs {
@@ -151,6 +155,10 @@ impl BenchArgs {
                     out.metrics_out = argv.get(i + 1).cloned();
                     i += 1;
                 }
+                "--jobs" => {
+                    out.jobs = argv.get(i + 1).and_then(|v| v.parse().ok()).filter(|&j| j >= 1);
+                    i += 1;
+                }
                 "--smoke" => out.smoke = true,
                 _ => {}
             }
@@ -167,6 +175,8 @@ impl BenchArgs {
 
     /// Applies the sample override to a group; a 1–2 sample smoke run
     /// also cuts the warmup, since nothing statistical is at stake.
+    /// Records the effective worker count as group metadata so every
+    /// bench JSON row names the configuration that produced it.
     pub fn apply(&self, group: &mut tm_testkit::bench::BenchGroup) {
         if let Some(n) = self.samples {
             group.sample_size(n);
@@ -174,6 +184,13 @@ impl BenchArgs {
                 group.warmup(Duration::from_millis(5));
             }
         }
+        group.meta("jobs", self.jobs() as f64);
+    }
+
+    /// The effective SPCF worker count: the `--jobs` flag, else
+    /// `TM_SPCF_JOBS`, else 1.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(SpcfOptions::jobs_from_env)
     }
 
     /// Writes the telemetry snapshot to the configured path, if any.
@@ -210,7 +227,7 @@ mod tests {
     #[test]
     fn table1_row_invariants() {
         let lib = harness_library();
-        let row = run_table1_row(&smoke_suite()[0], lib);
+        let row = run_table1_row(&smoke_suite()[0], lib, 2);
         // Exact engines agree; node-based is a superset count.
         let rel = (row.path_based.critical_patterns - row.short_path.critical_patterns).abs()
             / row.short_path.critical_patterns.max(1.0);
@@ -221,7 +238,7 @@ mod tests {
     #[test]
     fn table2_row_is_verified() {
         let lib = harness_library();
-        let row = run_table2_row(&smoke_suite()[1], lib);
+        let row = run_table2_row(&smoke_suite()[1], lib, 1);
         assert!(row.verified);
         assert_eq!(row.coverage, 1.0);
         assert!(row.result.report.slack_met);

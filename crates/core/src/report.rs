@@ -51,6 +51,9 @@ pub struct MaskingReport {
     /// ([`DegradationLevel::Exact`] when the paper's flow ran to
     /// completion).
     pub degradation: DegradationLevel,
+    /// Worker threads the SPCF computation was asked to use (1 =
+    /// serial; results are identical for every value).
+    pub jobs: usize,
     /// Wall-clock time of the whole synthesis.
     pub synthesis_time: Duration,
 }
@@ -109,6 +112,7 @@ impl MaskingReport {
             area_overhead_percent: design.area_overhead() * 100.0,
             power_overhead_percent,
             degradation,
+            jobs: spcf.jobs,
             synthesis_time,
         }
     }
@@ -148,12 +152,13 @@ mod tests {
         let nl = comparator2(Arc::new(lsi10k_like()));
         let design = MaskedDesign::unprotected(nl);
         let mut bdd = Bdd::new(4);
-        let spcf = SpcfSet {
-            algorithm: tm_spcf::Algorithm::ShortPath,
-            target: Delay::new(6.3),
-            outputs: Vec::new(),
-            runtime: Duration::ZERO,
-        };
+        let spcf = SpcfSet::new(
+            tm_spcf::Algorithm::ShortPath,
+            Delay::new(6.3),
+            Vec::new(),
+            Duration::ZERO,
+            1,
+        );
         let r = MaskingReport::measure(
             &design,
             &spcf,
@@ -168,6 +173,7 @@ mod tests {
         assert_eq!(r.area_overhead_percent, 0.0);
         assert_eq!(r.power_overhead_percent, 0.0);
         assert!(r.slack_met);
+        assert_eq!(r.jobs, 1);
         assert!(r.table2_row().contains("comparator2"));
     }
 }

@@ -33,7 +33,7 @@ use tm_netlist::map::tech_map;
 use tm_netlist::sop_network::{SigId, SigKind, SopNetwork};
 use tm_netlist::{Delay, NetId, Netlist};
 use tm_resilience::Budget;
-use tm_spcf::{conservative_spcf, try_node_based_spcf, try_short_path_spcf, SpcfSet};
+use tm_spcf::{try_spcf_with, Algorithm, SpcfOptions, SpcfSet};
 use tm_sta::Sta;
 
 /// How far the SPCF engine ladder had to degrade to fit the
@@ -69,36 +69,46 @@ impl std::fmt::Display for DegradationLevel {
 /// Runs the SPCF engine ladder: exact short-path → node-based
 /// over-approximation → guard-everything, stepping down only when the
 /// budget is exhausted. Each rung starts from a fresh BDD manager so a
-/// blown-up rung leaves no memory behind.
+/// blown-up rung leaves no memory behind. Every rung dispatches through
+/// the engine-session driver, so `jobs > 1` shards critical outputs
+/// across workers with no effect on the result (DESIGN.md §8).
 fn spcf_ladder(
     netlist: &Netlist,
     sta: &Sta<'_>,
     target: Delay,
     budget: Budget,
+    jobs: usize,
 ) -> (Bdd, SpcfSet, DegradationLevel) {
     let num_vars = netlist.inputs().len().max(1);
-    let mut bdd = Bdd::new(num_vars);
-    match try_short_path_spcf(netlist, sta, &mut bdd, target, budget) {
-        Ok(spcf) => return (bdd, spcf, DegradationLevel::Exact),
-        Err(e) => {
-            tm_telemetry::counter_add("resilience.fallback.node_based", 1);
-            if tm_telemetry::trace_level() >= 2 {
-                eprintln!("[synth] short-path SPCF: {e}; falling back to node-based");
+    let options = SpcfOptions::default().with_jobs(jobs).with_budget(budget);
+    let rungs = [
+        (Algorithm::ShortPath, DegradationLevel::Exact, "resilience.fallback.node_based", "short-path", "node-based"),
+        (Algorithm::NodeBased, DegradationLevel::NodeBased, "resilience.fallback.conservative", "node-based", "guard-everything"),
+    ];
+    for (algorithm, level, fallback_counter, name, next) in rungs {
+        let mut bdd = Bdd::new(num_vars);
+        match try_spcf_with(algorithm, netlist, sta, &mut bdd, target, &options) {
+            Ok(spcf) => return (bdd, spcf, level),
+            Err(e) => {
+                tm_telemetry::counter_add(fallback_counter, 1);
+                if tm_telemetry::trace_level() >= 2 {
+                    eprintln!("[synth] {name} SPCF: {e}; falling back to {next}");
+                }
             }
         }
     }
+    // The guard-everything rung does no budgeted work; run it serial
+    // and unlimited.
     let mut bdd = Bdd::new(num_vars);
-    match try_node_based_spcf(netlist, sta, &mut bdd, target, budget) {
-        Ok(spcf) => return (bdd, spcf, DegradationLevel::NodeBased),
-        Err(e) => {
-            tm_telemetry::counter_add("resilience.fallback.conservative", 1);
-            if tm_telemetry::trace_level() >= 2 {
-                eprintln!("[synth] node-based SPCF: {e}; falling back to guard-everything");
-            }
-        }
-    }
-    let mut bdd = Bdd::new(num_vars);
-    let spcf = conservative_spcf(netlist, sta, &mut bdd, target);
+    let spcf = try_spcf_with(
+        Algorithm::Conservative,
+        netlist,
+        sta,
+        &mut bdd,
+        target,
+        &SpcfOptions::default(),
+    )
+    .expect("the guard-everything engine performs no budgeted work");
     (bdd, spcf, DegradationLevel::Conservative)
 }
 
@@ -158,7 +168,7 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
 
     let (mut bdd, spcf, degradation) = {
         let _s = tm_telemetry::span!("masking.spcf");
-        spcf_ladder(netlist, &sta, target, options.budget)
+        spcf_ladder(netlist, &sta, target, options.budget, options.jobs)
     };
     trace!("[synth {:?}] spcf ladder settled at {degradation}", start.elapsed());
     // The guard-everything rung has no per-pattern information to prune

@@ -1,0 +1,61 @@
+//! `MaskingOptions::jobs` is a performance knob, never a semantic one:
+//! the degradation ladder settles on the same rung and the synthesized
+//! report carries the same SPCF population whether the SPCF engines
+//! run serial or sharded across workers (DESIGN.md §8).
+
+use std::sync::Arc;
+use tm_masking::{synthesize, MaskingOptions};
+use tm_netlist::generate::{generate, GeneratorSpec};
+use tm_netlist::library::lsi10k_like;
+use tm_netlist::Netlist;
+use tm_resilience::Budget;
+
+/// The same 20 seeded multi-output netlists as the tm-spcf determinism
+/// suite (5–10 inputs, 2–5 outputs).
+fn ladder_suite() -> Vec<Netlist> {
+    let lib = Arc::new(lsi10k_like());
+    (0..20u64)
+        .map(|i| {
+            let mut spec = GeneratorSpec::sized(
+                format!("ladder_det_{i}"),
+                5 + (i as usize % 6),
+                2 + (i as usize % 4),
+                18 + 3 * i as usize,
+            );
+            spec.seed = 0xC0FFEE + 7919 * i;
+            generate(&spec, lib.clone())
+        })
+        .collect()
+}
+
+#[test]
+fn jobs_do_not_change_the_ladder_rung_or_the_report() {
+    // Unlimited stays on the exact rung; a 4-entry memo starves the
+    // exact engine on every one of these netlists and lands node-based
+    // — in both cases on the same rung for every worker count.
+    let budgets =
+        [Budget::unlimited(), Budget::unlimited().with_max_memo_entries(4)];
+    for nl in ladder_suite() {
+        for budget in budgets {
+            let serial = synthesize(&nl, MaskingOptions { budget, jobs: 1, ..Default::default() });
+            let sharded = synthesize(&nl, MaskingOptions { budget, jobs: 4, ..Default::default() });
+            assert_eq!(
+                serial.report.degradation, sharded.report.degradation,
+                "{}: ladder rung depends on jobs under {budget:?}",
+                nl.name()
+            );
+            assert_eq!(
+                serial.report.critical_patterns, sharded.report.critical_patterns,
+                "{}: SPCF population depends on jobs under {budget:?}",
+                nl.name()
+            );
+            assert_eq!(
+                serial.report.area_overhead_percent, sharded.report.area_overhead_percent,
+                "{}: synthesized area depends on jobs under {budget:?}",
+                nl.name()
+            );
+            assert_eq!(serial.report.jobs, serial.spcf.jobs);
+            assert_eq!(sharded.report.jobs, sharded.spcf.jobs);
+        }
+    }
+}

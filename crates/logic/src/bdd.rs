@@ -752,6 +752,98 @@ impl Bdd {
         tm_telemetry::gauge_set("logic.bdd.nodes", self.nodes.len() as f64);
         tm_telemetry::gauge_set("logic.bdd.unique_entries", self.unique.len() as f64);
     }
+
+    /// Exports `f` as a manager-independent [`PortableBdd`].
+    ///
+    /// The node list is in deterministic *structural* order: a
+    /// depth-first walk from the root that finishes the `lo` subgraph
+    /// before the `hi` subgraph and emits each node once, children
+    /// first. The order depends only on the function's reduced graph —
+    /// never on this manager's node indices or allocation history — so
+    /// two managers holding equal functions export byte-identical
+    /// `PortableBdd`s. That is the property the parallel SPCF driver's
+    /// determinism rests on: importing the same exports in the same
+    /// order replays the same `mk` sequence in the target manager
+    /// regardless of which worker produced them.
+    pub fn export(&self, f: BddRef) -> PortableBdd {
+        let mut ids: HashMap<u32, u32> = HashMap::new();
+        ids.insert(FALSE_IDX, 0);
+        ids.insert(TRUE_IDX, 1);
+        let mut entries: Vec<(u32, u32, u32)> = Vec::new();
+        let mut stack = vec![(f.0, false)];
+        while let Some((idx, expanded)) = stack.pop() {
+            if ids.contains_key(&idx) {
+                continue;
+            }
+            let n = self.nodes[idx as usize];
+            if expanded {
+                let (lo, hi) = (ids[&n.lo], ids[&n.hi]);
+                entries.push((n.var, lo, hi));
+                ids.insert(idx, entries.len() as u32 + 1);
+            } else {
+                stack.push((idx, true));
+                stack.push((n.hi, false));
+                stack.push((n.lo, false)); // popped first: lo finishes first
+            }
+        }
+        PortableBdd { num_vars: self.num_vars, entries, root: ids[&f.0] }
+    }
+
+    /// Rebuilds an exported function in this manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export came from a manager with a different
+    /// variable count, or (like every plain operation) if a finite
+    /// budget runs out — budgeted callers use [`Bdd::try_import`].
+    pub fn import(&mut self, portable: &PortableBdd) -> BddRef {
+        Self::infallible(self.try_import(portable))
+    }
+
+    /// Budget-checked [`Bdd::import`]: every node materialized in this
+    /// manager goes through the same budgeted `mk` as native
+    /// operations, so an import cannot overrun an installed [`Budget`].
+    pub fn try_import(&mut self, portable: &PortableBdd) -> Result<BddRef, Exhausted> {
+        assert_eq!(
+            portable.num_vars, self.num_vars,
+            "import requires matching variable spaces"
+        );
+        let mut ids: Vec<u32> = Vec::with_capacity(portable.entries.len() + 2);
+        ids.push(FALSE_IDX);
+        ids.push(TRUE_IDX);
+        for &(var, lo, hi) in &portable.entries {
+            let node = self.mk(var, ids[lo as usize], ids[hi as usize])?;
+            ids.push(node);
+        }
+        Ok(BddRef(ids[portable.root as usize]))
+    }
+}
+
+/// A manager-independent encoding of one BDD function, produced by
+/// [`Bdd::export`] and consumed by [`Bdd::import`].
+///
+/// Entry `i` holds `(var, lo, hi)` where `lo`/`hi` are `0` (false),
+/// `1` (true), or `j + 2` referring to entry `j < i` — children always
+/// precede parents. Equal functions export equal values (see
+/// [`Bdd::export`] for the ordering guarantee), which makes this the
+/// unit of cross-thread BDD transfer in the parallel SPCF driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableBdd {
+    num_vars: u32,
+    entries: Vec<(u32, u32, u32)>,
+    root: u32,
+}
+
+impl PortableBdd {
+    /// Variable-space size of the exporting manager.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Number of internal nodes in the encoding (the function's size).
+    pub fn node_count(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -1011,6 +1103,91 @@ mod tests {
         let r = b.try_restrict(f, 5, false).unwrap();
         let nx = b.try_not(x).unwrap();
         assert_eq!(r, nx);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut a = Bdd::new(5);
+        let x0 = a.var(0);
+        let x2 = a.var(2);
+        let x4 = a.var(4);
+        let t = a.xor(x0, x2);
+        let f = a.or(t, x4);
+        let p = a.export(f);
+        assert_eq!(p.num_vars(), 5);
+        assert_eq!(p.node_count(), a.size(f));
+
+        let mut b = Bdd::new(5);
+        let g = b.import(&p);
+        for m in 0..32u64 {
+            let asn: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(a.eval(f, &asn), b.eval(g, &asn), "m={m}");
+        }
+        // Terminals survive the trip too.
+        assert_eq!(b.import(&a.export(a.one())), b.one());
+        assert_eq!(b.import(&a.export(a.zero())), b.zero());
+    }
+
+    #[test]
+    fn export_is_structural_not_historical() {
+        // Build the same function with different operation orders (and
+        // different junk allocated in between): the exports must be
+        // byte-identical, because the encoding depends only on the
+        // reduced graph.
+        let mut a = Bdd::new(6);
+        let f = {
+            let x1 = a.var(1);
+            let x3 = a.var(3);
+            let x5 = a.var(5);
+            let t = a.and(x1, x3);
+            a.or(t, x5)
+        };
+        let mut b = Bdd::new(6);
+        let g = {
+            let x5 = b.var(5);
+            let junk1 = b.var(0);
+            let junk2 = b.var(2);
+            let _ = b.xor(junk1, junk2);
+            let x3 = b.var(3);
+            let x1 = b.var(1);
+            let t = b.or(x5, x3); // different intermediate
+            let _ = t;
+            let u = b.and(x3, x1);
+            b.or(x5, u)
+        };
+        assert_eq!(a.export(f), b.export(g));
+    }
+
+    #[test]
+    fn import_is_canonical_in_the_target() {
+        let mut a = Bdd::new(4);
+        let x0 = a.var(0);
+        let x1 = a.var(1);
+        let f = a.and(x0, x1);
+        let p = a.export(f);
+        let mut b = Bdd::new(4);
+        let y0 = b.var(0);
+        let y1 = b.var(1);
+        let native = b.and(y0, y1);
+        // The function already exists in b: import finds it, allocating
+        // nothing new.
+        let before = b.node_count();
+        assert_eq!(b.import(&p), native);
+        assert_eq!(b.node_count(), before);
+    }
+
+    #[test]
+    fn import_respects_the_budget() {
+        use tm_resilience::Resource;
+        let mut a = Bdd::new(16);
+        let lits: Vec<BddRef> = (0..16).map(|i| a.var(i)).collect();
+        let f = a.and_all(lits);
+        let p = a.export(f);
+        let mut b = Bdd::new(16);
+        b.set_budget(Budget::unlimited().with_max_bdd_nodes(6));
+        let e = b.try_import(&p).expect_err("16-node cube cannot fit in 6 nodes");
+        assert_eq!(e.resource, Resource::BddNodes);
+        assert!(b.node_count() as u64 <= 6);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod qm;
 pub mod sop;
 pub mod tt;
 
-pub use bdd::{Bdd, BddRef, BddStats};
+pub use bdd::{Bdd, BddRef, BddStats, PortableBdd};
 pub use cube::Cube;
 pub use sop::Sop;
 pub use tt::TruthTable;

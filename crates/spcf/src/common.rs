@@ -2,11 +2,12 @@
 //! caches, global net functions, and the result types.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 use tm_logic::bdd::{Bdd, BddRef};
-use tm_logic::{qm, Cube};
+use tm_logic::{qm, Cube, TruthTable};
 use tm_netlist::netlist::Driver;
-use tm_netlist::{CellId, Delay, NetId, Netlist};
+use tm_netlist::{CellId, Delay, GateId, NetId, Netlist};
 use tm_resilience::Exhausted;
 
 /// Which SPCF algorithm produced a result.
@@ -38,7 +39,7 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// The SPCF of one critical primary output.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OutputSpcf {
     /// The critical primary output.
     pub output: NetId,
@@ -59,12 +60,30 @@ pub struct SpcfSet {
     pub outputs: Vec<OutputSpcf>,
     /// Wall-clock time of the computation.
     pub runtime: Duration,
+    /// Worker threads the computation was asked to use (1 = serial).
+    pub jobs: usize,
+    /// `NetId::index` → position in `outputs`, so [`SpcfSet::spcf_of`]
+    /// stays O(1) on wide circuits.
+    index: HashMap<usize, usize>,
 }
 
 impl SpcfSet {
+    /// Assembles a set and its output index.
+    pub fn new(
+        algorithm: Algorithm,
+        target: Delay,
+        outputs: Vec<OutputSpcf>,
+        runtime: Duration,
+        jobs: usize,
+    ) -> Self {
+        let index =
+            outputs.iter().enumerate().map(|(k, o)| (o.output.index(), k)).collect();
+        SpcfSet { algorithm, target, outputs, runtime, jobs, index }
+    }
+
     /// The SPCF of a specific output, if it is in the set.
     pub fn spcf_of(&self, output: NetId) -> Option<BddRef> {
-        self.outputs.iter().find(|o| o.output == output).map(|o| o.spcf)
+        self.index.get(&output.index()).map(|&k| self.outputs[k].spcf)
     }
 
     /// Union of all per-output SPCFs: the patterns that sensitize *some*
@@ -97,9 +116,12 @@ impl SpcfSet {
 ///
 /// Eqn. 1 needs "the set of all prime implicants in the on-set and
 /// off-set of f" for every gate; cells repeat, so compute them once.
-#[derive(Debug, Default)]
+/// Entries are `Arc`-shared: lookups hand out cheap handles instead of
+/// forcing cube-vector clones, and a prewarmed cache can be cloned into
+/// parallel SPCF workers without recomputing a single prime.
+#[derive(Clone, Debug, Default)]
 pub struct GatePrimes {
-    cache: HashMap<CellId, (Vec<Cube>, Vec<Cube>)>,
+    cache: HashMap<CellId, Arc<(Vec<Cube>, Vec<Cube>)>>,
 }
 
 impl GatePrimes {
@@ -109,10 +131,40 @@ impl GatePrimes {
     }
 
     /// `(on_primes, off_primes)` of the cell's function, cached.
-    pub fn of(&mut self, netlist: &Netlist, cell: CellId) -> &(Vec<Cube>, Vec<Cube>) {
-        self.cache.entry(cell).or_insert_with(|| {
-            qm::on_off_primes(netlist.library().cell(cell).function())
-        })
+    pub fn of(&mut self, netlist: &Netlist, cell: CellId) -> Arc<(Vec<Cube>, Vec<Cube>)> {
+        Arc::clone(self.cache.entry(cell).or_insert_with(|| {
+            Arc::new(qm::on_off_primes(netlist.library().cell(cell).function()))
+        }))
+    }
+
+    /// Computes the primes of every cell the netlist instantiates, so
+    /// clones of this cache (one per parallel worker) share the work.
+    pub fn prewarm(&mut self, netlist: &Netlist) {
+        let cells: Vec<CellId> = netlist.gates().map(|(_, g)| g.cell()).collect();
+        for cell in cells {
+            self.of(netlist, cell);
+        }
+    }
+}
+
+/// `(on_primes, off_primes)` of a gate over its *distinct* fanins.
+///
+/// The common case — all fanins distinct — is served straight from the
+/// cell-level cache (the remap in [`distinct_fanins`] is the identity
+/// there); gates with duplicated fanins get primes of the remapped
+/// function.
+pub fn gate_on_off_primes(
+    netlist: &Netlist,
+    primes: &mut GatePrimes,
+    gate: GateId,
+    distinct: usize,
+    tt: &TruthTable,
+) -> Arc<(Vec<Cube>, Vec<Cube>)> {
+    let g = netlist.gate(gate);
+    if distinct == g.inputs().len() {
+        primes.of(netlist, g.cell())
+    } else {
+        Arc::new(qm::on_off_primes(tt))
     }
 }
 
@@ -125,31 +177,10 @@ impl GatePrimes {
 /// inputs.
 pub fn net_global_bdds(netlist: &Netlist, bdd: &mut Bdd) -> Vec<BddRef> {
     assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
-    let mut refs = vec![bdd.zero(); netlist.num_nets()];
-    for (pos, &net) in netlist.inputs().iter().enumerate() {
-        refs[net.index()] = bdd.var(pos);
-    }
-    for (_, g) in netlist.gates() {
-        let f = netlist.library().cell(g.cell()).function();
-        let ins: Vec<BddRef> = g.inputs().iter().map(|i| refs[i.index()]).collect();
-        // Shannon-style build from the cell truth table's minimized
-        // covers would also work; for ≤4-input cells the direct minterm
-        // expansion is fine and simple.
-        let mut terms = Vec::new();
-        for m in 0..(1u64 << ins.len()) {
-            if !f.eval(m) {
-                continue;
-            }
-            let lits: Vec<BddRef> = ins
-                .iter()
-                .enumerate()
-                .map(|(pin, &w)| if (m >> pin) & 1 == 1 { w } else { bdd.not(w) })
-                .collect();
-            terms.push(bdd.and_all(lits));
-        }
-        refs[g.output().index()] = bdd.or_all(terms);
-    }
-    refs
+    let mut globals = LazyGlobals::new(netlist);
+    (0..netlist.num_nets())
+        .map(|idx| globals.of(netlist, bdd, NetId::from_index(idx)))
+        .collect()
 }
 
 /// Lazily computed global net functions over the primary-input space.
@@ -300,13 +331,14 @@ mod tests {
         let nl = comparator2(Arc::new(lsi10k_like()));
         let mut primes = GatePrimes::new();
         let (_, g) = nl.gates().next().unwrap();
-        let (on, off) = primes.of(&nl, g.cell()).clone();
+        let handle = primes.of(&nl, g.cell());
+        let (on, off) = &*handle;
         // INV: on-set prime = x0', off-set = x0.
         assert_eq!(on.len(), 1);
         assert_eq!(off.len(), 1);
-        // Cache hit returns the same data.
-        let again = primes.of(&nl, g.cell()).clone();
-        assert_eq!(again.0.len(), 1);
+        // Cache hit returns a handle to the same shared data.
+        let again = primes.of(&nl, g.cell());
+        assert!(Arc::ptr_eq(&handle, &again));
     }
 
     #[test]

@@ -11,11 +11,30 @@
 //! the constant-true node is performed, so this engine cannot exhaust
 //! any budget.
 
-use crate::common::{Algorithm, OutputSpcf, SpcfSet};
-use std::time::Instant;
-use tm_logic::bdd::Bdd;
-use tm_netlist::{Delay, Netlist};
+use crate::engine::{EngineCx, EngineSession, SpcfEngine};
+use crate::{Algorithm, SpcfSet};
+use tm_logic::bdd::{Bdd, BddRef};
+use tm_netlist::{Delay, NetId, Netlist};
+use tm_resilience::{Budget, Exhausted};
 use tm_sta::Sta;
+
+/// The guard-everything engine: every critical output's SPCF is the
+/// constant-one function.
+pub struct ConservativeEngine;
+
+impl SpcfEngine for ConservativeEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Conservative
+    }
+
+    fn compute_output(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        _output: NetId,
+    ) -> Result<BddRef, Exhausted> {
+        Ok(cx.bdd.one())
+    }
+}
 
 /// Computes the guard-everything SPCF: constant-true for every output
 /// whose structural arrival exceeds `target`, mirroring the criticality
@@ -23,29 +42,18 @@ use tm_sta::Sta;
 ///
 /// # Panics
 ///
-/// Panics if `sta` analyzes a different netlist.
+/// Panics if `sta` analyzes a different netlist or the BDD manager is
+/// too narrow.
 pub fn conservative_spcf(
     netlist: &Netlist,
     sta: &Sta<'_>,
     bdd: &mut Bdd,
     target: Delay,
 ) -> SpcfSet {
-    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
-    let _span = tm_telemetry::span!("spcf.conservative", target = target);
-    let start = Instant::now();
-    let one = bdd.one();
-    let outputs = netlist
-        .outputs()
-        .iter()
-        .filter(|&&o| sta.arrival(o) > target)
-        .map(|&o| OutputSpcf { output: o, spcf: one })
-        .collect();
-    SpcfSet {
-        algorithm: Algorithm::Conservative,
-        target,
-        outputs,
-        runtime: start.elapsed(),
-    }
+    let mut engine = ConservativeEngine;
+    EngineSession::new(netlist, sta, bdd, target, Budget::unlimited())
+        .run(&mut engine)
+        .expect("the guard-everything engine performs no budgeted work")
 }
 
 #[cfg(test)]

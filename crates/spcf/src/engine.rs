@@ -1,0 +1,569 @@
+//! The engine session and the parallel per-output SPCF driver
+//! (DESIGN.md §8).
+//!
+//! Every SPCF algorithm computes the same thing — one characteristic
+//! function per critical primary output — and used to duplicate the
+//! same scaffolding three times: budget install/restore on the shared
+//! BDD manager, gate-prime caches, lazily built global net functions,
+//! telemetry spans, and the criticality filter. [`EngineSession`] owns
+//! that per-run state once; each algorithm shrinks to an [`SpcfEngine`]
+//! implementation answering `compute_output` queries against the
+//! session's [`EngineCx`].
+//!
+//! On top of the session sits the parallel driver
+//! ([`try_spcf_with`]): per-output SPCFs are independent, so critical
+//! outputs are sharded round-robin across `std::thread::scope` workers.
+//! Each worker owns a private BDD manager seeded over the
+//! cone-of-influence of its shard, charges its consumption into one
+//! [`SharedBudget`], and collects telemetry into its thread-local
+//! registry; on join the parent absorbs the registries in worker order
+//! and re-expresses every worker's results in the caller's manager via
+//! [`tm_logic::bdd::PortableBdd`] transfer, iterating critical outputs
+//! in netlist order — which is why `jobs = 1` and `jobs = N` produce
+//! bit-identical [`SpcfSet`] contents.
+
+use crate::common::{Algorithm, GatePrimes, LazyGlobals, OutputSpcf, SpcfSet};
+use std::collections::HashMap;
+use std::time::Instant;
+use tm_logic::bdd::{Bdd, BddRef, PortableBdd};
+use tm_netlist::netlist::Driver;
+use tm_netlist::{Delay, NetId, Netlist};
+use tm_resilience::{Budget, Exhausted, SharedBudget};
+use tm_sta::Sta;
+use tm_telemetry::Snapshot;
+
+/// Environment variable the bench binaries and the differential oracle
+/// suite read as the default worker count (see
+/// [`SpcfOptions::jobs_from_env`]).
+pub const JOBS_ENV: &str = "TM_SPCF_JOBS";
+
+/// Driver configuration: how the SPCF of a circuit is computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpcfOptions {
+    /// Worker threads to shard critical outputs across (1 = serial in
+    /// the caller's manager). Results are identical for every value.
+    pub jobs: usize,
+    /// Deterministic computation budget for the whole run, shared
+    /// across workers when `jobs > 1`.
+    pub budget: Budget,
+}
+
+impl Default for SpcfOptions {
+    fn default() -> Self {
+        SpcfOptions { jobs: 1, budget: Budget::unlimited() }
+    }
+}
+
+impl SpcfOptions {
+    /// The worker count named by the `TM_SPCF_JOBS` environment
+    /// variable, defaulting to 1 (serial) when unset or unparsable.
+    pub fn jobs_from_env() -> usize {
+        std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or(1)
+    }
+
+    /// Builder: sets the worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Builder: sets the computation budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The per-query view an [`SpcfEngine`] computes against: the circuit,
+/// its timing, the target, and the session-owned caches. Fields are
+/// public so engines can split borrows (`cx.globals.try_of(cx.netlist,
+/// cx.bdd, net)` borrows three disjoint fields).
+pub struct EngineCx<'n, 'c> {
+    /// The circuit under analysis.
+    pub netlist: &'n Netlist,
+    /// Static timing of `netlist`.
+    pub sta: &'c Sta<'n>,
+    /// Target arrival time `Δ_y`.
+    pub target: Delay,
+    /// Budget for engine-side tables (the manager enforces node/step
+    /// limits itself; see [`Bdd::set_budget`]).
+    pub budget: Budget,
+    /// The manager every returned [`BddRef`] lives in.
+    pub bdd: &'c mut Bdd,
+    /// Shared per-cell prime-implicant cache.
+    pub primes: &'c mut GatePrimes,
+    /// Lazily built global net functions over the primary inputs.
+    pub globals: &'c mut LazyGlobals,
+}
+
+/// One SPCF algorithm, reduced to its essence: given a prepared
+/// context, produce the SPCF of one critical output.
+///
+/// Lifecycle (driven by [`EngineSession::run`] and the parallel
+/// workers): `prepare` once with the full list of target outputs (the
+/// cone-of-influence restriction for topological engines), then
+/// `compute_output` per output in order, then `publish_metrics` —
+/// always, even after an exhaustion, so partial work is visible.
+pub trait SpcfEngine {
+    /// Which algorithm this engine implements.
+    fn algorithm(&self) -> Algorithm;
+
+    /// One-time per-run setup: arrival tables, waveforms, on-time
+    /// functions — restricted to the fanin cones of `targets` where the
+    /// algorithm allows it.
+    fn prepare(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        targets: &[NetId],
+    ) -> Result<(), Exhausted> {
+        let _ = (cx, targets);
+        Ok(())
+    }
+
+    /// The SPCF of `output` at `cx.target`, over `cx.bdd`.
+    fn compute_output(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        output: NetId,
+    ) -> Result<BddRef, Exhausted>;
+
+    /// Publishes the engine's counters (and the manager's `logic.bdd.*`
+    /// stats) to `tm-telemetry`. Called exactly once per session, after
+    /// the last `compute_output` — succeeded or not.
+    fn publish_metrics(&mut self, cx: &mut EngineCx<'_, '_>) {
+        let _ = cx;
+    }
+
+    /// Lifetime count of the engine's memo-table entries (stabilization
+    /// memo, waveform breakpoints). The parallel driver charges its
+    /// growth against [`SharedBudget`]; engines without a memo report 0.
+    fn memo_entries(&self) -> u64 {
+        0
+    }
+}
+
+/// A fresh engine for `algorithm`.
+pub fn engine_for(algorithm: Algorithm) -> Box<dyn SpcfEngine> {
+    match algorithm {
+        Algorithm::ShortPath => Box::new(crate::short_path::ShortPathEngine::default()),
+        Algorithm::PathBased => Box::new(crate::path_based::PathBasedEngine::default()),
+        Algorithm::NodeBased => Box::new(crate::node_based::NodeBasedEngine::default()),
+        Algorithm::Conservative => Box::new(crate::conservative::ConservativeEngine),
+    }
+}
+
+/// The telemetry span name of an algorithm's session.
+fn span_name(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::ShortPath => "spcf.short_path",
+        Algorithm::PathBased => "spcf.path_based",
+        Algorithm::NodeBased => "spcf.node_based",
+        Algorithm::Conservative => "spcf.conservative",
+    }
+}
+
+/// The per-output latency histogram of an algorithm, if it has one
+/// (the conservative engine does no per-output work worth timing).
+fn output_ns_metric(algorithm: Algorithm) -> Option<&'static str> {
+    match algorithm {
+        Algorithm::ShortPath => Some("spcf.short_path.output_ns"),
+        Algorithm::PathBased => Some("spcf.path_based.output_ns"),
+        Algorithm::NodeBased => Some("spcf.node_based.output_ns"),
+        Algorithm::Conservative => None,
+    }
+}
+
+/// The outputs whose structural arrival exceeds `target`, in netlist
+/// output order — the criticality filter every engine shares.
+pub fn critical_outputs(netlist: &Netlist, sta: &Sta<'_>, target: Delay) -> Vec<NetId> {
+    netlist.outputs().iter().copied().filter(|&o| sta.arrival(o) > target).collect()
+}
+
+/// Membership mask of the transitive fanin cones of `targets` (indexed
+/// by `NetId::index`). Topological engines restrict their sweep to it,
+/// which is what makes per-worker managers cheaper than `jobs` copies
+/// of the full circuit.
+pub fn cone_nets(netlist: &Netlist, targets: &[NetId]) -> Vec<bool> {
+    let mut in_cone = vec![false; netlist.num_nets()];
+    let mut stack: Vec<NetId> = targets.to_vec();
+    while let Some(net) = stack.pop() {
+        if std::mem::replace(&mut in_cone[net.index()], true) {
+            continue;
+        }
+        if let Driver::Gate(gid) = netlist.driver(net) {
+            stack.extend(netlist.gate(gid).inputs().iter().copied());
+        }
+    }
+    in_cone
+}
+
+/// One SPCF run: the state every engine needs, owned in one place.
+///
+/// Construction installs `budget` on the manager; `Drop` restores the
+/// previous budget on every exit path (success, exhaustion, panic) —
+/// the install/restore protocol the engines used to hand-roll.
+pub struct EngineSession<'n, 'c> {
+    netlist: &'n Netlist,
+    sta: &'c Sta<'n>,
+    bdd: &'c mut Bdd,
+    target: Delay,
+    budget: Budget,
+    prev_budget: Budget,
+    primes: GatePrimes,
+    globals: LazyGlobals,
+    start: Instant,
+}
+
+impl<'n, 'c> EngineSession<'n, 'c> {
+    /// Opens a session: validates the netlist/STA/manager triple and
+    /// installs `budget` on the manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sta` analyzes a different netlist or the manager has
+    /// fewer variables than the netlist has inputs.
+    pub fn new(
+        netlist: &'n Netlist,
+        sta: &'c Sta<'n>,
+        bdd: &'c mut Bdd,
+        target: Delay,
+        budget: Budget,
+    ) -> Self {
+        assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+        assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
+        let prev_budget = bdd.budget();
+        bdd.set_budget(budget);
+        EngineSession {
+            netlist,
+            sta,
+            bdd,
+            target,
+            budget,
+            prev_budget,
+            primes: GatePrimes::new(),
+            globals: LazyGlobals::new(netlist),
+            start: Instant::now(),
+        }
+    }
+
+    /// The session's critical outputs, in netlist output order.
+    pub fn critical_outputs(&self) -> Vec<NetId> {
+        critical_outputs(self.netlist, self.sta, self.target)
+    }
+
+    fn cx(&mut self) -> EngineCx<'n, '_> {
+        EngineCx {
+            netlist: self.netlist,
+            sta: self.sta,
+            target: self.target,
+            budget: self.budget,
+            bdd: &mut *self.bdd,
+            primes: &mut self.primes,
+            globals: &mut self.globals,
+        }
+    }
+
+    fn compute(
+        &mut self,
+        engine: &mut dyn SpcfEngine,
+        targets: &[NetId],
+    ) -> Result<Vec<OutputSpcf>, Exhausted> {
+        engine.prepare(&mut self.cx(), targets)?;
+        let metric = output_ns_metric(engine.algorithm());
+        let mut outputs = Vec::with_capacity(targets.len());
+        for &o in targets {
+            let t0 = Instant::now();
+            let spcf = engine.compute_output(&mut self.cx(), o)?;
+            if let Some(m) = metric {
+                tm_telemetry::histogram_record(m, t0.elapsed().as_nanos() as f64);
+            }
+            outputs.push(OutputSpcf { output: o, spcf });
+        }
+        Ok(outputs)
+    }
+
+    /// Runs `engine` over every critical output of the session.
+    pub fn run(mut self, engine: &mut dyn SpcfEngine) -> Result<SpcfSet, Exhausted> {
+        let _span = tm_telemetry::span::enter(span_name(engine.algorithm()));
+        let targets = self.critical_outputs();
+        let result = self.compute(engine, &targets);
+        engine.publish_metrics(&mut self.cx());
+        Ok(SpcfSet::new(
+            engine.algorithm(),
+            self.target,
+            result?,
+            self.start.elapsed(),
+            1,
+        ))
+    }
+
+    /// Runs `engine` for a single (not necessarily output) net —
+    /// diagnostics and tests.
+    pub fn run_net(
+        mut self,
+        engine: &mut dyn SpcfEngine,
+        net: NetId,
+    ) -> Result<BddRef, Exhausted> {
+        let targets = [net];
+        let r = (|| {
+            engine.prepare(&mut self.cx(), &targets)?;
+            engine.compute_output(&mut self.cx(), net)
+        })();
+        engine.publish_metrics(&mut self.cx());
+        r
+    }
+}
+
+impl Drop for EngineSession<'_, '_> {
+    fn drop(&mut self) {
+        self.bdd.set_budget(self.prev_budget);
+    }
+}
+
+/// Computes the SPCF of every critical output with `algorithm`,
+/// honoring `options.jobs` and `options.budget`.
+///
+/// The result is independent of `jobs`: the set lists the same outputs
+/// with the same characteristic functions (verified bit-identical via
+/// [`Bdd::export`] in the determinism suite), differing only in the
+/// recorded [`SpcfSet::jobs`] and wall-clock runtime. A finite shared
+/// budget *can* exhaust earlier under parallelism (workers duplicate
+/// shared subfunctions in their private managers), but never later.
+pub fn try_spcf_with(
+    algorithm: Algorithm,
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+    options: &SpcfOptions,
+) -> Result<SpcfSet, Exhausted> {
+    let criticals = critical_outputs(netlist, sta, target);
+    let jobs = options.jobs.max(1).min(criticals.len().max(1));
+    if jobs <= 1 {
+        let mut engine = engine_for(algorithm);
+        return EngineSession::new(netlist, sta, bdd, target, options.budget)
+            .run(engine.as_mut());
+    }
+    parallel_spcf(algorithm, netlist, sta, bdd, target, options.budget, jobs, &criticals)
+}
+
+/// Infallible [`try_spcf_with`] for unlimited budgets.
+///
+/// # Panics
+///
+/// Panics if `options.budget` is finite and exhausts.
+pub fn spcf_with(
+    algorithm: Algorithm,
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+    options: &SpcfOptions,
+) -> SpcfSet {
+    try_spcf_with(algorithm, netlist, sta, bdd, target, options)
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// What one worker hands back to the driver.
+struct WorkerOut {
+    /// `(output, exported SPCF)` for every output of the worker's shard
+    /// it completed, in shard order.
+    results: Vec<(NetId, PortableBdd)>,
+    /// The exhaustion that stopped this worker, if any.
+    error: Option<Exhausted>,
+    /// The worker thread's drained telemetry registry.
+    telemetry: Snapshot,
+}
+
+/// The parallel driver: shards `criticals` round-robin across `jobs`
+/// scoped workers and merges their results deterministically.
+#[allow(clippy::too_many_arguments)]
+fn parallel_spcf(
+    algorithm: Algorithm,
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    bdd: &mut Bdd,
+    target: Delay,
+    budget: Budget,
+    jobs: usize,
+    criticals: &[NetId],
+) -> Result<SpcfSet, Exhausted> {
+    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+    assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
+    let start = Instant::now();
+    let _span = tm_telemetry::span::enter("spcf.parallel");
+
+    // Primes are computed once and cloned into workers (Arc'd entries:
+    // the clone shares every cube vector).
+    let mut primes = GatePrimes::new();
+    primes.prewarm(netlist);
+    let shared = SharedBudget::new(budget);
+    let telemetry_on = tm_telemetry::enabled();
+    let num_vars = bdd.num_vars();
+
+    let worker_out: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let shard: Vec<NetId> =
+                    criticals.iter().copied().skip(w).step_by(jobs).collect();
+                let primes = primes.clone();
+                let shared = &shared;
+                scope.spawn(move || {
+                    run_worker(
+                        algorithm,
+                        netlist,
+                        sta,
+                        target,
+                        num_vars,
+                        shard,
+                        primes,
+                        shared,
+                        telemetry_on,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SPCF worker panicked"))
+            .collect()
+    });
+
+    // Absorb telemetry in worker order — deterministic counter sums and
+    // a deterministic last-writer for gauges.
+    for out in &worker_out {
+        tm_telemetry::absorb(&out.telemetry);
+    }
+    if let Some(e) = worker_out.iter().find_map(|o| o.error) {
+        return Err(e);
+    }
+
+    // Re-express every worker's SPCFs in the caller's manager, walking
+    // the critical outputs in netlist order: allocation order in the
+    // caller's manager — and therefore the whole `SpcfSet` — matches a
+    // serial run regardless of which worker computed what.
+    let mut portable: HashMap<usize, PortableBdd> = worker_out
+        .into_iter()
+        .flat_map(|o| o.results)
+        .map(|(net, p)| (net.index(), p))
+        .collect();
+    let prev = bdd.budget();
+    bdd.set_budget(budget);
+    let mut outputs = Vec::with_capacity(criticals.len());
+    let imported = (|| {
+        for &o in criticals {
+            let p = portable
+                .remove(&o.index())
+                .expect("an error-free worker covers its whole shard");
+            outputs.push(OutputSpcf { output: o, spcf: bdd.try_import(&p)? });
+        }
+        Ok(())
+    })();
+    bdd.set_budget(prev);
+    imported?;
+    Ok(SpcfSet::new(algorithm, target, outputs, start.elapsed(), jobs))
+}
+
+/// One worker: a private manager, a private engine, and a shard of the
+/// critical outputs. Consumption is charged into `shared` at output
+/// granularity; results leave the thread as [`PortableBdd`]s.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    algorithm: Algorithm,
+    netlist: &Netlist,
+    sta: &Sta<'_>,
+    target: Delay,
+    num_vars: usize,
+    shard: Vec<NetId>,
+    mut primes: GatePrimes,
+    shared: &SharedBudget,
+    telemetry_on: bool,
+) -> WorkerOut {
+    if telemetry_on {
+        // Fresh thread, fresh registry: collect here, drain on exit,
+        // let the parent absorb.
+        tm_telemetry::set_thread_enabled(Some(true));
+    }
+    let mut bdd = Bdd::new(num_vars);
+    let mut engine = engine_for(algorithm);
+    let mut globals = LazyGlobals::new(netlist);
+    let mut results = Vec::with_capacity(shard.len());
+    let mut error = None;
+    let mut prepared = false;
+
+    for &o in &shard {
+        if shared.is_tripped() {
+            // Another worker exhausted the run's budget; stop without
+            // recording a second telemetry trip (the tripping worker
+            // already carries the error).
+            break;
+        }
+        // The worker may locally consume whatever the run has left plus
+        // what it already charged for itself (its manager counters are
+        // lifetime totals).
+        let local = shared.local_view(
+            bdd.node_count() as u64,
+            bdd.steps_taken(),
+            engine.memo_entries(),
+        );
+        bdd.set_budget(local);
+        let nodes0 = bdd.node_count() as u64;
+        let steps0 = bdd.steps_taken();
+        let memo0 = engine.memo_entries();
+        let r = (|| {
+            let mut cx = EngineCx {
+                netlist,
+                sta,
+                target,
+                budget: local,
+                bdd: &mut bdd,
+                primes: &mut primes,
+                globals: &mut globals,
+            };
+            if !prepared {
+                engine.prepare(&mut cx, &shard)?;
+            }
+            engine.compute_output(&mut cx, o)
+        })();
+        prepared = true;
+        let d_nodes = bdd.node_count() as u64 - nodes0;
+        let d_steps = bdd.steps_taken() - steps0;
+        let d_memo = engine.memo_entries() - memo0;
+        match r {
+            Ok(f) => {
+                results.push((o, bdd.export(f)));
+                if let Err(e) = shared.charge(d_nodes, d_steps, d_memo) {
+                    error = Some(e);
+                    break;
+                }
+            }
+            Err(e) => {
+                // The local budget check already counted this trip;
+                // mark before charging so the shared layer stays
+                // silent, then record what was consumed anyway.
+                shared.mark_tripped();
+                let _ = shared.charge(d_nodes, d_steps, d_memo);
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    {
+        let mut cx = EngineCx {
+            netlist,
+            sta,
+            target,
+            budget: shared.limits(),
+            bdd: &mut bdd,
+            primes: &mut primes,
+            globals: &mut globals,
+        };
+        engine.publish_metrics(&mut cx);
+    }
+    let telemetry = tm_telemetry::drain();
+    WorkerOut { results, error, telemetry }
+}

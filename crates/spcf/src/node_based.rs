@@ -19,13 +19,110 @@
 //! inclusion `Σ_exact ⊆ Σ_node` is proved in `DESIGN.md` and asserted by
 //! property tests.
 
-use crate::common::{distinct_fanins, Algorithm, LazyGlobals, OutputSpcf, SpcfSet};
-use std::time::Instant;
+use crate::common::{distinct_fanins, gate_on_off_primes};
+use crate::engine::{cone_nets, EngineCx, EngineSession, SpcfEngine};
+use crate::{Algorithm, SpcfSet};
 use tm_logic::bdd::{Bdd, BddRef};
-use tm_logic::qm;
-use tm_netlist::{Delay, Netlist};
+use tm_netlist::{Delay, NetId, Netlist};
 use tm_resilience::{Budget, Exhausted};
 use tm_sta::Sta;
+
+/// The node-based engine: one cone-restricted topological pass
+/// computing a per-net static "on-time" function.
+#[derive(Default)]
+pub struct NodeBasedEngine {
+    /// `on_time[net]`: patterns for which the net is guaranteed settled
+    /// by its static required time.
+    on_time: Vec<BddRef>,
+}
+
+impl SpcfEngine for NodeBasedEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::NodeBased
+    }
+
+    /// The whole algorithm is this one pass; `compute_output` is a
+    /// single complement per output. The sweep is restricted to the
+    /// fanin cones of `targets`: every statically critical gate lies in
+    /// the cone of some critical output (its finite required time comes
+    /// from a violating path *to* such an output), so on the full
+    /// target list the restriction changes nothing — and on a worker's
+    /// shard it skips the rest of the circuit.
+    fn prepare(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        targets: &[NetId],
+    ) -> Result<(), Exhausted> {
+        let netlist = cx.netlist;
+        let in_cone = cone_nets(netlist, targets);
+        let mut critical_gates = 0u64;
+        let required = cx.sta.required(cx.target);
+        let one = cx.bdd.one();
+        let zero = cx.bdd.zero();
+
+        // Primary inputs settle at t = 0, so a PI whose required time
+        // went negative (it starts a violating path) is never "on time"
+        // — this is where lateness originates.
+        let mut on_time: Vec<BddRef> = vec![one; netlist.num_nets()];
+        for &pi in netlist.inputs() {
+            if required[pi.index()].is_finite() && required[pi.index()] < Delay::ZERO {
+                on_time[pi.index()] = zero;
+            }
+        }
+        for (gid, g) in netlist.gates() {
+            let out = g.output();
+            if !in_cone[out.index()] {
+                continue;
+            }
+            let req_out = required[out.index()];
+            let slack_ok = !req_out.is_finite() || cx.sta.arrival(out) <= req_out;
+            if slack_ok {
+                continue; // non-critical gates meet timing on every pattern
+            }
+            critical_gates += 1;
+            let (fanins, delays, tt) = distinct_fanins(netlist, cx.sta, gid);
+            let primes = gate_on_off_primes(netlist, cx.primes, gid, fanins.len(), &tt);
+            let (on_primes, off_primes) = &*primes;
+            let mut terms = Vec::with_capacity(on_primes.len() + off_primes.len());
+            for p in on_primes.iter().chain(off_primes) {
+                let mut lits = Vec::with_capacity(p.literal_count() as usize);
+                for (pos, pol) in p.literals() {
+                    let u = fanins[pos];
+                    let f = cx.globals.try_of(netlist, cx.bdd, u)?;
+                    let value = if pol { f } else { cx.bdd.try_not(f)? };
+                    // Static edge check: if the worst arrival through this
+                    // edge meets the gate's required time, the literal is
+                    // always on time; otherwise fall back to the fanin's own
+                    // static on-time set (the node-based approximation).
+                    let edge_meets = cx.sta.arrival(u) + delays[pos] <= req_out;
+                    let lit = if edge_meets {
+                        value
+                    } else {
+                        cx.bdd.try_and(value, on_time[u.index()])?
+                    };
+                    lits.push(lit);
+                }
+                terms.push(cx.bdd.try_and_all(lits)?);
+            }
+            on_time[out.index()] = cx.bdd.try_or_all(terms)?;
+        }
+        tm_telemetry::counter_add("spcf.node_based.critical_gates", critical_gates);
+        self.on_time = on_time;
+        Ok(())
+    }
+
+    fn compute_output(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        output: NetId,
+    ) -> Result<BddRef, Exhausted> {
+        cx.bdd.try_not(self.on_time[output.index()])
+    }
+
+    fn publish_metrics(&mut self, cx: &mut EngineCx<'_, '_>) {
+        cx.bdd.publish_metrics();
+    }
+}
 
 /// Computes the over-approximate SPCF of every critical output with the
 /// node-based algorithm of ref \[22\].
@@ -63,9 +160,9 @@ pub fn node_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
 }
 
 /// Budget-checked [`node_based_spcf`]: `budget` caps BDD nodes and
-/// recursion steps for the duration of the call (the manager's previous
-/// budget is restored afterwards). On exhaustion the partial pass is
-/// abandoned with a typed [`Exhausted`] error.
+/// recursion steps for the duration of the session (the manager's
+/// previous budget is restored afterwards). On exhaustion the partial
+/// pass is abandoned with a typed [`Exhausted`] error.
 pub fn try_node_based_spcf(
     netlist: &Netlist,
     sta: &Sta<'_>,
@@ -73,94 +170,8 @@ pub fn try_node_based_spcf(
     target: Delay,
     budget: Budget,
 ) -> Result<SpcfSet, Exhausted> {
-    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
-    let _span = tm_telemetry::span!("spcf.node_based", target = target);
-    let prev = bdd.budget();
-    bdd.set_budget(budget);
-    let r = node_based_rec(netlist, sta, bdd, target);
-    bdd.publish_metrics();
-    bdd.set_budget(prev);
-    r
-}
-
-fn node_based_rec(
-    netlist: &Netlist,
-    sta: &Sta<'_>,
-    bdd: &mut Bdd,
-    target: Delay,
-) -> Result<SpcfSet, Exhausted> {
-    let start = Instant::now();
-    let mut critical_gates = 0u64;
-    let mut globals = LazyGlobals::new(netlist);
-    let required = sta.required(target);
-    let one = bdd.one();
-    let zero = bdd.zero();
-
-    // on_time[net]: patterns for which the net is guaranteed settled by
-    // its static required time. Primary inputs settle at t = 0, so a PI
-    // whose required time went negative (it starts a violating path) is
-    // never "on time" — this is where lateness originates.
-    let mut on_time: Vec<BddRef> = vec![one; netlist.num_nets()];
-    for &pi in netlist.inputs() {
-        if required[pi.index()].is_finite() && required[pi.index()] < Delay::ZERO {
-            on_time[pi.index()] = zero;
-        }
-    }
-    for (gid, g) in netlist.gates() {
-        let out = g.output();
-        let req_out = required[out.index()];
-        let slack_ok = !req_out.is_finite() || sta.arrival(out) <= req_out;
-        if slack_ok {
-            continue; // non-critical gates meet timing on every pattern
-        }
-        critical_gates += 1;
-        let (fanins, delays, tt) = distinct_fanins(netlist, sta, gid);
-        let (on_primes, off_primes) = qm::on_off_primes(&tt);
-        let mut terms = Vec::with_capacity(on_primes.len() + off_primes.len());
-        for p in on_primes.iter().chain(&off_primes) {
-            let mut lits = Vec::with_capacity(p.literal_count() as usize);
-            for (pos, pol) in p.literals() {
-                let u = fanins[pos];
-                let f = globals.try_of(netlist, bdd, u)?;
-                let value = if pol { f } else { bdd.try_not(f)? };
-                // Static edge check: if the worst arrival through this
-                // edge meets the gate's required time, the literal is
-                // always on time; otherwise fall back to the fanin's own
-                // static on-time set (the node-based approximation).
-                let edge_meets = sta.arrival(u) + delays[pos] <= req_out;
-                let lit = if edge_meets {
-                    value
-                } else {
-                    bdd.try_and(value, on_time[u.index()])?
-                };
-                lits.push(lit);
-            }
-            terms.push(bdd.try_and_all(lits)?);
-        }
-        on_time[out.index()] = bdd.try_or_all(terms)?;
-    }
-
-    let mut outputs = Vec::new();
-    for &o in netlist.outputs() {
-        if sta.arrival(o) <= target {
-            continue;
-        }
-        let t0 = Instant::now();
-        let spcf = bdd.try_not(on_time[o.index()])?;
-        tm_telemetry::histogram_record(
-            "spcf.node_based.output_ns",
-            t0.elapsed().as_nanos() as f64,
-        );
-        outputs.push(OutputSpcf { output: o, spcf });
-    }
-    tm_telemetry::counter_add("spcf.node_based.critical_gates", critical_gates);
-
-    Ok(SpcfSet {
-        algorithm: Algorithm::NodeBased,
-        target,
-        outputs,
-        runtime: start.elapsed(),
-    })
+    let mut engine = NodeBasedEngine::default();
+    EngineSession::new(netlist, sta, bdd, target, budget).run(&mut engine)
 }
 
 #[cfg(test)]

@@ -11,11 +11,11 @@
 //! what makes it measurably slower (the paper reports ~3.5× vs the
 //! node-based pass).
 
-use crate::common::{distinct_fanins, Algorithm, OutputSpcf, SpcfSet};
-use std::time::Instant;
+use crate::common::{distinct_fanins, gate_on_off_primes};
+use crate::engine::{cone_nets, EngineCx, EngineSession, SpcfEngine};
+use crate::{Algorithm, GatePrimes, SpcfSet};
 use tm_logic::bdd::{Bdd, BddRef};
-use tm_logic::qm;
-use tm_netlist::{Delay, Netlist};
+use tm_netlist::{Delay, NetId, Netlist};
 use tm_resilience::{Budget, Exhausted};
 use tm_sta::Sta;
 
@@ -40,6 +40,62 @@ impl Waveform {
     }
 }
 
+/// The path-based engine: complete timed waveforms over the target
+/// cones, one lookup per output.
+#[derive(Default)]
+pub struct PathBasedEngine {
+    waves: Vec<Option<Waveform>>,
+    waveform_nodes: u64,
+}
+
+impl SpcfEngine for PathBasedEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::PathBased
+    }
+
+    fn prepare(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        targets: &[NetId],
+    ) -> Result<(), Exhausted> {
+        let in_cone = cone_nets(cx.netlist, targets);
+        let (waves, waveform_nodes) = build_waveforms(
+            cx.netlist,
+            cx.sta,
+            cx.bdd,
+            cx.primes,
+            cx.budget,
+            Some(&in_cone),
+        )?;
+        self.waves = waves;
+        self.waveform_nodes = waveform_nodes;
+        Ok(())
+    }
+
+    fn compute_output(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        output: NetId,
+    ) -> Result<BddRef, Exhausted> {
+        let zero = cx.bdd.zero();
+        let qt = cx.target.quantize();
+        let (s1, s0) =
+            self.waves[output.index()].as_ref().expect("output wave").lookup(qt, zero);
+        let settled = cx.bdd.try_or(s1, s0)?;
+        cx.bdd.try_not(settled)
+    }
+
+    fn publish_metrics(&mut self, cx: &mut EngineCx<'_, '_>) {
+        cx.bdd.publish_metrics();
+    }
+
+    /// Waveform breakpoints stand in for memo entries: they are the
+    /// engine-side state a shared budget has to account for.
+    fn memo_entries(&self) -> u64 {
+        self.waveform_nodes
+    }
+}
+
 /// Computes the exact SPCF of every critical output by full timed
 /// waveform propagation.
 ///
@@ -57,11 +113,11 @@ pub fn path_based_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
 }
 
 /// Budget-checked [`path_based_spcf`]: `budget` caps BDD nodes and
-/// recursion steps for the duration of the call (the manager's previous
-/// budget is restored afterwards) plus the total number of materialized
-/// waveform breakpoints (counted against `max_memo_entries`). On
-/// exhaustion the partial analysis is abandoned with a typed
-/// [`Exhausted`] error.
+/// recursion steps for the duration of the session (the manager's
+/// previous budget is restored afterwards) plus the total number of
+/// materialized waveform breakpoints (counted against
+/// `max_memo_entries`). On exhaustion the partial analysis is abandoned
+/// with a typed [`Exhausted`] error.
 pub fn try_path_based_spcf(
     netlist: &Netlist,
     sta: &Sta<'_>,
@@ -69,50 +125,8 @@ pub fn try_path_based_spcf(
     target: Delay,
     budget: Budget,
 ) -> Result<SpcfSet, Exhausted> {
-    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
-    let _span = tm_telemetry::span!("spcf.path_based", target = target);
-    let prev = bdd.budget();
-    bdd.set_budget(budget);
-    let r = path_based_rec(netlist, sta, bdd, target, budget);
-    bdd.publish_metrics();
-    bdd.set_budget(prev);
-    r
-}
-
-fn path_based_rec(
-    netlist: &Netlist,
-    sta: &Sta<'_>,
-    bdd: &mut Bdd,
-    target: Delay,
-    budget: Budget,
-) -> Result<SpcfSet, Exhausted> {
-    let start = Instant::now();
-    let zero = bdd.zero();
-    let waves = build_waveforms(netlist, sta, bdd, budget)?;
-
-    let qt = target.quantize();
-    let mut outputs = Vec::new();
-    for &o in netlist.outputs() {
-        if sta.arrival(o) <= target {
-            continue;
-        }
-        let t0 = Instant::now();
-        let (s1, s0) = waves[o.index()].as_ref().expect("output wave").lookup(qt, zero);
-        let settled = bdd.try_or(s1, s0)?;
-        let spcf = bdd.try_not(settled)?;
-        tm_telemetry::histogram_record(
-            "spcf.path_based.output_ns",
-            t0.elapsed().as_nanos() as f64,
-        );
-        outputs.push(OutputSpcf { output: o, spcf });
-    }
-
-    Ok(SpcfSet {
-        algorithm: Algorithm::PathBased,
-        target,
-        outputs,
-        runtime: start.elapsed(),
-    })
+    let mut engine = PathBasedEngine::default();
+    EngineSession::new(netlist, sta, bdd, target, budget).run(&mut engine)
 }
 
 /// Exact (floating-mode) stabilization delay of every primary output:
@@ -128,8 +142,10 @@ pub fn exact_output_delays(
     bdd: &mut Bdd,
 ) -> Vec<(tm_netlist::NetId, Delay)> {
     assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
-    let waves = build_waveforms(netlist, sta, bdd, Budget::unlimited())
-        .expect("unlimited budget cannot exhaust");
+    let mut primes = GatePrimes::new();
+    let (waves, _) =
+        build_waveforms(netlist, sta, bdd, &mut primes, Budget::unlimited(), None)
+            .expect("unlimited budget cannot exhaust");
     let one = bdd.one();
     netlist
         .outputs()
@@ -149,31 +165,44 @@ pub fn exact_output_delays(
         .collect()
 }
 
-/// Builds the complete timed stabilization waveform of every net.
+/// Builds the complete timed stabilization waveform of every net (or,
+/// with a cone mask, of every net inside it — workers of the parallel
+/// driver only pay for their own shard's cones).
 ///
 /// `budget.max_memo_entries` caps the total number of `(stab¹, stab⁰)`
 /// breakpoints materialized across all nets — the quantity that
-/// explodes on deep circuits with many distinct path delays.
+/// explodes on deep circuits with many distinct path delays. Returns
+/// the waveforms and that breakpoint total.
 fn build_waveforms(
     netlist: &Netlist,
     sta: &Sta<'_>,
     bdd: &mut Bdd,
+    primes: &mut GatePrimes,
     budget: Budget,
-) -> Result<Vec<Option<Waveform>>, Exhausted> {
+    cone: Option<&[bool]>,
+) -> Result<(Vec<Option<Waveform>>, u64), Exhausted> {
     assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
     let zero = bdd.zero();
+    let in_cone = |net: NetId| cone.map(|c| c[net.index()]).unwrap_or(true);
 
     let mut waves: Vec<Option<Waveform>> = vec![None; netlist.num_nets()];
     let mut waveform_nodes = 0u64;
     for (pos, &net) in netlist.inputs().iter().enumerate() {
+        if !in_cone(net) {
+            continue;
+        }
         let lit = bdd.try_var(pos)?;
         let nlit = bdd.try_not(lit)?;
         waves[net.index()] = Some(Waveform { times: vec![0], stab1: vec![lit], stab0: vec![nlit] });
     }
 
     for (gid, g) in netlist.gates() {
+        if !in_cone(g.output()) {
+            continue;
+        }
         let (fanins, delays, tt) = distinct_fanins(netlist, sta, gid);
-        let (on_primes, off_primes) = qm::on_off_primes(&tt);
+        let gate_primes = gate_on_off_primes(netlist, primes, gid, fanins.len(), &tt);
+        let (on_primes, off_primes) = &*gate_primes;
         let delays_q: Vec<i64> = delays.iter().map(|d| d.quantize()).collect();
 
         // Candidate breakpoints: every fanin breakpoint shifted by its
@@ -210,7 +239,7 @@ fn build_waveforms(
                 })
                 .collect();
             let mut on_terms = Vec::with_capacity(on_primes.len());
-            for p in &on_primes {
+            for p in on_primes {
                 let lits: Vec<BddRef> = p
                     .literals()
                     .map(|(pos, pol)| if pol { fanin_stabs[pos].0 } else { fanin_stabs[pos].1 })
@@ -218,7 +247,7 @@ fn build_waveforms(
                 on_terms.push(bdd.try_and_all(lits)?);
             }
             let mut off_terms = Vec::with_capacity(off_primes.len());
-            for p in &off_primes {
+            for p in off_primes {
                 let lits: Vec<BddRef> = p
                     .literals()
                     .map(|(pos, pol)| if pol { fanin_stabs[pos].0 } else { fanin_stabs[pos].1 })
@@ -243,7 +272,7 @@ fn build_waveforms(
         waves[g.output().index()] = Some(Waveform { times: ct, stab1: c1, stab0: c0 });
     }
     tm_telemetry::counter_add("spcf.path_based.waveform_nodes", waveform_nodes);
-    Ok(waves)
+    Ok((waves, waveform_nodes))
 }
 
 #[cfg(test)]

@@ -17,11 +17,13 @@
 //! which is what makes it cheaper than the full path-based waveform
 //! analysis at equal accuracy.
 
-use crate::common::{distinct_fanins, Algorithm, OutputSpcf, SpcfSet};
+use crate::common::{distinct_fanins, gate_on_off_primes};
+use crate::engine::{EngineCx, EngineSession, SpcfEngine};
+use crate::{Algorithm, SpcfSet};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::Arc;
 use tm_logic::bdd::{Bdd, BddRef};
-use tm_logic::{qm, Cube};
+use tm_logic::Cube;
 use tm_netlist::netlist::Driver;
 use tm_netlist::{Delay, NetId, Netlist};
 use tm_resilience::{Budget, Exhausted};
@@ -30,93 +32,53 @@ use tm_sta::Sta;
 struct GateInfo {
     fanins: Vec<NetId>,
     delays_q: Vec<i64>,
-    on_primes: Vec<Cube>,
-    off_primes: Vec<Cube>,
+    /// `(on_primes, off_primes)` over the distinct fanins, shared with
+    /// the session's cell-level cache.
+    primes: Arc<(Vec<Cube>, Vec<Cube>)>,
 }
 
-struct Engine<'a, 'b> {
-    netlist: &'a Netlist,
-    bdd: &'b mut Bdd,
-    /// Lazily computed global function per net (only nets inside
-    /// queried cones are ever built — a large part of the algorithm's
-    /// cost advantage over the full-waveform path-based engine).
-    globals: Vec<Option<BddRef>>,
+/// The short-path engine: memoized single-time stabilization queries.
+#[derive(Default)]
+pub struct ShortPathEngine {
     arrivals_q: Vec<i64>,
     /// Earliest possible stabilization per net (shortest-path arrival,
     /// quantized): queries strictly below it are zero without recursion.
     min_arrivals_q: Vec<i64>,
     gate_info: Vec<GateInfo>,
     memo: HashMap<(u32, i64, bool), BddRef>,
-    /// Caps the memo table; BDD-node/step limits are enforced by the
-    /// manager itself (see [`Bdd::set_budget`]).
-    budget: Budget,
     stab_calls: u64,
     memo_hits: u64,
     memo_misses: u64,
 }
 
-impl Engine<'_, '_> {
-    /// Global function of a net over the primary inputs, built on
-    /// demand.
-    fn global(&mut self, net: NetId) -> Result<BddRef, Exhausted> {
-        if let Some(f) = self.globals[net.index()] {
-            return Ok(f);
-        }
-        let f = match self.netlist.driver(net) {
-            Driver::PrimaryInput => {
-                let pos = self
-                    .netlist
-                    .input_position(net)
-                    .expect("input-driven net is a primary input");
-                self.bdd.try_var(pos)?
-            }
-            Driver::Gate(gate) => {
-                let info_idx = gate.index();
-                let fanin_count = self.gate_info[info_idx].fanins.len();
-                let mut fanin_fns = Vec::with_capacity(fanin_count);
-                for pos in 0..fanin_count {
-                    let fanin = self.gate_info[info_idx].fanins[pos];
-                    fanin_fns.push(self.global(fanin)?);
-                }
-                let prime_count = self.gate_info[info_idx].on_primes.len();
-                let mut terms = Vec::with_capacity(prime_count);
-                for pi in 0..prime_count {
-                    let prime = self.gate_info[info_idx].on_primes[pi];
-                    let mut lits = Vec::with_capacity(prime.literal_count() as usize);
-                    for (pos, pol) in prime.literals() {
-                        let f = fanin_fns[pos];
-                        lits.push(if pol { f } else { self.bdd.try_not(f)? });
-                    }
-                    terms.push(self.bdd.try_and_all(lits)?);
-                }
-                self.bdd.try_or_all(terms)?
-            }
-        };
-        self.globals[net.index()] = Some(f);
-        Ok(f)
-    }
-
+impl ShortPathEngine {
     /// Patterns for which `net` has settled to `phase` by time `qt`
     /// (quantized).
-    fn stab(&mut self, net: NetId, qt: i64, phase: bool) -> Result<BddRef, Exhausted> {
+    fn stab(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        net: NetId,
+        qt: i64,
+        phase: bool,
+    ) -> Result<BddRef, Exhausted> {
         self.stab_calls += 1;
         // Settled for sure once the worst-case arrival has passed.
         if qt >= self.arrivals_q[net.index()] {
-            let f = self.global(net)?;
-            return if phase { Ok(f) } else { self.bdd.try_not(f) };
+            let f = cx.globals.try_of(cx.netlist, cx.bdd, net)?;
+            return if phase { Ok(f) } else { cx.bdd.try_not(f) };
         }
         // Nothing can settle before the shortest-path arrival.
         if qt < self.min_arrivals_q[net.index()] {
-            return Ok(self.bdd.zero());
+            return Ok(cx.bdd.zero());
         }
-        let gate = match self.netlist.driver(net) {
+        let gate = match cx.netlist.driver(net) {
             // A primary input queried before time 0 (arrival 0 was
             // handled above).
-            Driver::PrimaryInput => return Ok(self.bdd.zero()),
+            Driver::PrimaryInput => return Ok(cx.bdd.zero()),
             Driver::Gate(g) => g,
         };
         if qt <= 0 {
-            return Ok(self.bdd.zero()); // positive-delay logic cannot settle by 0
+            return Ok(cx.bdd.zero()); // positive-delay logic cannot settle by 0
         }
         let key = (net.index() as u32, qt, phase);
         if let Some(&r) = self.memo.get(&key) {
@@ -125,35 +87,84 @@ impl Engine<'_, '_> {
         }
         self.memo_misses += 1;
         let info_idx = gate.index();
-        let prime_count = if phase {
-            self.gate_info[info_idx].on_primes.len()
-        } else {
-            self.gate_info[info_idx].off_primes.len()
-        };
-        let mut terms = Vec::with_capacity(prime_count);
-        for pi in 0..prime_count {
-            let prime = if phase {
-                self.gate_info[info_idx].on_primes[pi]
-            } else {
-                self.gate_info[info_idx].off_primes[pi]
-            };
+        let primes = Arc::clone(&self.gate_info[info_idx].primes);
+        let plist = if phase { &primes.0 } else { &primes.1 };
+        let mut terms = Vec::with_capacity(plist.len());
+        for prime in plist {
             let mut lits = Vec::with_capacity(prime.literal_count() as usize);
             for (pos, pol) in prime.literals() {
                 let fanin = self.gate_info[info_idx].fanins[pos];
                 let dq = self.gate_info[info_idx].delays_q[pos];
-                lits.push(self.stab(fanin, qt - dq, pol)?);
+                lits.push(self.stab(cx, fanin, qt - dq, pol)?);
             }
-            terms.push(self.bdd.try_and_all(lits)?);
+            terms.push(cx.bdd.try_and_all(lits)?);
         }
-        let r = self.bdd.try_or_all(terms)?;
-        self.budget.check_memo_entries(self.memo.len() as u64)?;
+        let r = cx.bdd.try_or_all(terms)?;
+        cx.budget.check_memo_entries(self.memo.len() as u64)?;
         self.memo.insert(key, r);
         Ok(r)
     }
+}
 
-    /// Publishes the engine's memoization counters and the manager's
-    /// `logic.bdd.*` stats to `tm-telemetry`.
-    fn publish_metrics(&mut self) {
+impl SpcfEngine for ShortPathEngine {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::ShortPath
+    }
+
+    /// Builds the recursion's static tables: per-gate distinct-fanin
+    /// primes (served from the session's cell cache) and worst-/best-
+    /// case quantized arrivals. No BDD work happens here; the recursion
+    /// itself only ever touches the cones of the queried targets.
+    fn prepare(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        _targets: &[NetId],
+    ) -> Result<(), Exhausted> {
+        let netlist = cx.netlist;
+        self.arrivals_q = cx.sta.arrivals().iter().map(|d| d.quantize()).collect();
+        self.gate_info = netlist
+            .gates()
+            .map(|(gid, _)| {
+                let (fanins, delays, tt) = distinct_fanins(netlist, cx.sta, gid);
+                let primes =
+                    gate_on_off_primes(netlist, cx.primes, gid, fanins.len(), &tt);
+                GateInfo {
+                    fanins,
+                    delays_q: delays.iter().map(|d| d.quantize()).collect(),
+                    primes,
+                }
+            })
+            .collect();
+
+        // Shortest-path (earliest possible stabilization) arrivals.
+        self.min_arrivals_q = vec![0i64; netlist.num_nets()];
+        for (gid, g) in netlist.gates() {
+            let info = &self.gate_info[gid.index()];
+            let min_in = info
+                .fanins
+                .iter()
+                .zip(&info.delays_q)
+                .map(|(f, dq)| self.min_arrivals_q[f.index()] + dq)
+                .min()
+                .unwrap_or(0);
+            self.min_arrivals_q[g.output().index()] = min_in;
+        }
+        Ok(())
+    }
+
+    fn compute_output(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        output: NetId,
+    ) -> Result<BddRef, Exhausted> {
+        let qt = cx.target.quantize();
+        let s1 = self.stab(cx, output, qt, true)?;
+        let s0 = self.stab(cx, output, qt, false)?;
+        let settled = cx.bdd.try_or(s1, s0)?;
+        cx.bdd.try_not(settled)
+    }
+
+    fn publish_metrics(&mut self, cx: &mut EngineCx<'_, '_>) {
         if !tm_telemetry::enabled() {
             return;
         }
@@ -161,7 +172,11 @@ impl Engine<'_, '_> {
         tm_telemetry::counter_add("spcf.short_path.memo_hit", self.memo_hits);
         tm_telemetry::counter_add("spcf.short_path.memo_miss", self.memo_misses);
         tm_telemetry::gauge_set("spcf.short_path.memo_entries", self.memo.len() as f64);
-        self.bdd.publish_metrics();
+        cx.bdd.publish_metrics();
+    }
+
+    fn memo_entries(&self) -> u64 {
+        self.memo.len() as u64
     }
 }
 
@@ -200,7 +215,7 @@ pub fn short_path_spcf(netlist: &Netlist, sta: &Sta<'_>, bdd: &mut Bdd, target: 
 
 /// Budget-checked [`short_path_spcf`]: the `budget` caps BDD nodes and
 /// recursion steps (installed on the manager for the duration of the
-/// call, then restored) plus the engine's stabilization memo; on
+/// session, then restored) plus the engine's stabilization memo; on
 /// exhaustion the partial computation is abandoned and a typed
 /// [`Exhausted`] error is returned.
 pub fn try_short_path_spcf(
@@ -210,52 +225,8 @@ pub fn try_short_path_spcf(
     target: Delay,
     budget: Budget,
 ) -> Result<SpcfSet, Exhausted> {
-    assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
-    let _span = tm_telemetry::span!("spcf.short_path", target = target);
-    let start = Instant::now();
-    let prev = bdd.budget();
-    bdd.set_budget(budget);
-    let mut engine = build_engine(netlist, sta, bdd, budget);
-
-    let qt = target.quantize();
-    let mut outputs = Vec::new();
-    let mut failed = None;
-    'outputs: for &o in netlist.outputs() {
-        if sta.arrival(o) <= target {
-            continue; // not a critical output
-        }
-        let t0 = Instant::now();
-        let spcf = (|| {
-            let s1 = engine.stab(o, qt, true)?;
-            let s0 = engine.stab(o, qt, false)?;
-            let settled = engine.bdd.try_or(s1, s0)?;
-            engine.bdd.try_not(settled)
-        })();
-        let spcf = match spcf {
-            Ok(s) => s,
-            Err(e) => {
-                failed = Some(e);
-                break 'outputs;
-            }
-        };
-        tm_telemetry::histogram_record(
-            "spcf.short_path.output_ns",
-            t0.elapsed().as_nanos() as f64,
-        );
-        outputs.push(OutputSpcf { output: o, spcf });
-    }
-    engine.publish_metrics();
-    bdd.set_budget(prev);
-    if let Some(e) = failed {
-        return Err(e);
-    }
-
-    Ok(SpcfSet {
-        algorithm: Algorithm::ShortPath,
-        target,
-        outputs,
-        runtime: start.elapsed(),
-    })
+    let mut engine = ShortPathEngine::default();
+    EngineSession::new(netlist, sta, bdd, target, budget).run(&mut engine)
 }
 
 /// Computes the short-path SPCF of a *single* net at an arbitrary target
@@ -268,71 +239,10 @@ pub fn short_path_spcf_of_net(
     net: NetId,
     target: Delay,
 ) -> BddRef {
-    let mut engine = build_engine(netlist, sta, bdd, Budget::unlimited());
-    let qt = target.quantize();
-    let r = (|| {
-        let s1 = engine.stab(net, qt, true)?;
-        let s0 = engine.stab(net, qt, false)?;
-        let settled = engine.bdd.try_or(s1, s0)?;
-        engine.bdd.try_not(settled)
-    })()
-    .expect("unlimited budget cannot exhaust");
-    engine.publish_metrics();
-    r
-}
-
-/// Builds the shared recursion state: cached gate primes, worst- and
-/// best-case arrivals, and empty lazy-global / memo tables.
-fn build_engine<'a, 'b>(
-    netlist: &'a Netlist,
-    sta: &Sta<'a>,
-    bdd: &'b mut Bdd,
-    budget: Budget,
-) -> Engine<'a, 'b> {
-    assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
-    let arrivals_q: Vec<i64> = sta.arrivals().iter().map(|d| d.quantize()).collect();
-
-    let gate_info: Vec<GateInfo> = netlist
-        .gates()
-        .map(|(gid, _)| {
-            let (fanins, delays, tt) = distinct_fanins(netlist, sta, gid);
-            let (on_primes, off_primes) = qm::on_off_primes(&tt);
-            GateInfo {
-                fanins,
-                delays_q: delays.iter().map(|d| d.quantize()).collect(),
-                on_primes,
-                off_primes,
-            }
-        })
-        .collect();
-
-    // Shortest-path (earliest possible stabilization) arrivals.
-    let mut min_arrivals_q = vec![0i64; netlist.num_nets()];
-    for (gid, g) in netlist.gates() {
-        let info = &gate_info[gid.index()];
-        let min_in = info
-            .fanins
-            .iter()
-            .zip(&info.delays_q)
-            .map(|(f, dq)| min_arrivals_q[f.index()] + dq)
-            .min()
-            .unwrap_or(0);
-        min_arrivals_q[g.output().index()] = min_in;
-    }
-
-    Engine {
-        netlist,
-        bdd,
-        globals: vec![None; netlist.num_nets()],
-        arrivals_q,
-        min_arrivals_q,
-        gate_info,
-        memo: HashMap::new(),
-        budget,
-        stab_calls: 0,
-        memo_hits: 0,
-        memo_misses: 0,
-    }
+    let mut engine = ShortPathEngine::default();
+    EngineSession::new(netlist, sta, bdd, target, Budget::unlimited())
+        .run_net(&mut engine, net)
+        .expect("unlimited budget cannot exhaust")
 }
 
 #[cfg(test)]
@@ -437,5 +347,24 @@ mod tests {
         let y = nl.outputs()[0];
         let single = short_path_spcf_of_net(&nl, &sta, &mut bdd, y, Delay::new(6.3));
         assert_eq!(single, set.outputs[0].spcf);
+    }
+
+    #[test]
+    fn session_restores_previous_budget() {
+        let nl = setup();
+        let sta = Sta::new(&nl);
+        let mut bdd = Bdd::new(4);
+        let outer = Budget::unlimited().with_max_steps(123_456);
+        bdd.set_budget(outer);
+        // Success path restores.
+        let _ = short_path_spcf(&nl, &sta, &mut bdd, Delay::new(6.3));
+        assert_eq!(bdd.budget(), outer);
+        // Exhaustion path restores too (fresh manager: the run above
+        // left warm caches that would absorb a tiny step budget).
+        let mut cold = Bdd::new(4);
+        cold.set_budget(outer);
+        let tiny = Budget::unlimited().with_max_steps(1);
+        assert!(try_short_path_spcf(&nl, &sta, &mut cold, Delay::new(6.3), tiny).is_err());
+        assert_eq!(cold.budget(), outer);
     }
 }

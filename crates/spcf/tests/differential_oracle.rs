@@ -30,7 +30,7 @@ use tm_netlist::{Delay, Netlist};
 use tm_sim::patterns::random_vectors;
 use tm_sim::timing::TimingSim;
 use tm_spcf::common::distinct_fanins;
-use tm_spcf::{node_based_spcf, path_based_spcf, short_path_spcf, SpcfSet};
+use tm_spcf::{short_path_spcf, spcf_with, Algorithm, SpcfOptions, SpcfSet};
 use tm_sta::Sta;
 use tm_testkit::prop::{check, Config, Gen};
 use tm_testkit::{prop_assert, prop_assert_eq};
@@ -114,15 +114,20 @@ fn gen_case(g: &mut Gen, inputs: std::ops::Range<usize>) -> (Netlist, f64) {
 /// identical critical-output lists, `short_path == path_based` per
 /// output, both contained in `node_based`, and every unlisted output
 /// genuinely non-critical. Returns the three sets for further checks.
+///
+/// Every engine goes through the session driver; `TM_SPCF_JOBS` shards
+/// the critical outputs across workers (CI reruns this suite with
+/// `TM_SPCF_JOBS=4`), which must not change any result below.
 fn engines_agree(
     nl: &Netlist,
     sta: &Sta<'_>,
     bdd: &mut Bdd,
     target: Delay,
 ) -> Result<(SpcfSet, SpcfSet, SpcfSet), String> {
-    let sp = short_path_spcf(nl, sta, bdd, target);
-    let pb = path_based_spcf(nl, sta, bdd, target);
-    let nb = node_based_spcf(nl, sta, bdd, target);
+    let options = SpcfOptions::default().with_jobs(SpcfOptions::jobs_from_env());
+    let sp = spcf_with(Algorithm::ShortPath, nl, sta, bdd, target, &options);
+    let pb = spcf_with(Algorithm::PathBased, nl, sta, bdd, target, &options);
+    let nb = spcf_with(Algorithm::NodeBased, nl, sta, bdd, target, &options);
 
     let outs = |s: &SpcfSet| s.outputs.iter().map(|o| o.output).collect::<Vec<_>>();
     prop_assert_eq!(outs(&sp), outs(&pb), "critical-output lists differ (sp vs pb)");

@@ -1,0 +1,183 @@
+//! Determinism suite for the parallel per-output SPCF driver
+//! (DESIGN.md §8).
+//!
+//! The driver's contract is that `jobs` is a *performance* knob, never
+//! a semantic one:
+//!
+//! 1. **Bit-identity**: on 20 generated multi-output netlists, every
+//!    engine produces the same critical-output list, the same per-output
+//!    satisfying-pattern counts, and byte-identical [`Bdd::export`]
+//!    encodings under `jobs = 1` and `jobs = 4`.
+//! 2. **Exactly-once exhaustion**: when a finite shared budget trips
+//!    under parallelism, the `resilience.budget.exhausted` counter
+//!    records the trip exactly once (the tripping worker's local check),
+//!    the caller's manager gets its previous budget back, and the same
+//!    call with an unlimited budget still succeeds afterwards.
+
+use std::sync::Arc;
+use tm_logic::Bdd;
+use tm_netlist::generate::{generate, GeneratorSpec};
+use tm_netlist::library::lsi10k_like;
+use tm_netlist::{Delay, NetId, Netlist};
+use tm_resilience::{Budget, Resource};
+use tm_spcf::{short_path_spcf_of_net, spcf_with, try_spcf_with, Algorithm, SpcfOptions};
+use tm_sta::Sta;
+
+/// 20 seeded multi-output netlists spanning 5–10 inputs, 2–5 outputs.
+fn determinism_suite() -> Vec<Netlist> {
+    let lib = Arc::new(lsi10k_like());
+    (0..20u64)
+        .map(|i| {
+            let mut spec = GeneratorSpec::sized(
+                format!("det_{i}"),
+                5 + (i as usize % 6),
+                2 + (i as usize % 4),
+                18 + 3 * i as usize,
+            );
+            spec.seed = 0xC0FFEE + 7919 * i;
+            generate(&spec, lib.clone())
+        })
+        .collect()
+}
+
+#[test]
+fn jobs_do_not_change_any_engine_result() {
+    for nl in determinism_suite() {
+        let sta = Sta::new(&nl);
+        let target = sta.critical_path_delay() * 0.8;
+        for algorithm in
+            [Algorithm::ShortPath, Algorithm::PathBased, Algorithm::NodeBased]
+        {
+            let mut serial_bdd = Bdd::new(nl.inputs().len());
+            let serial =
+                spcf_with(algorithm, &nl, &sta, &mut serial_bdd, target, &SpcfOptions::default());
+            let mut par_bdd = Bdd::new(nl.inputs().len());
+            let parallel = spcf_with(
+                algorithm,
+                &nl,
+                &sta,
+                &mut par_bdd,
+                target,
+                &SpcfOptions::default().with_jobs(4),
+            );
+
+            assert_eq!(serial.jobs, 1);
+            assert_eq!(serial.algorithm, parallel.algorithm);
+            assert_eq!(
+                serial.outputs.len(),
+                parallel.outputs.len(),
+                "{} {algorithm:?}: critical-output lists differ",
+                nl.name()
+            );
+            for (s, p) in serial.outputs.iter().zip(&parallel.outputs) {
+                assert_eq!(s.output, p.output, "{} {algorithm:?}", nl.name());
+                assert_eq!(
+                    serial_bdd.sat_count(s.spcf),
+                    par_bdd.sat_count(p.spcf),
+                    "{} {algorithm:?}: sat count differs for {}",
+                    nl.name(),
+                    nl.net_name(s.output)
+                );
+                assert_eq!(
+                    serial_bdd.export(s.spcf),
+                    par_bdd.export(p.spcf),
+                    "{} {algorithm:?}: exported structure differs for {}",
+                    nl.name(),
+                    nl.net_name(s.output)
+                );
+            }
+        }
+    }
+}
+
+/// Two critical outputs with wildly asymmetric SPCF cost: a generated
+/// 10-input block whose SPCF takes real stabilization work, and an
+/// inverter chain off one input, long enough to be critical but — as a
+/// single path that can never settle by the target — costing zero BDD
+/// steps (its SPCF is constant one via the min-arrival fast path). With
+/// `jobs = 2` each worker owns exactly one output, so a step budget
+/// between the two costs trips exactly one worker deterministically.
+/// Returns the netlist and the target.
+fn asymmetric_netlist(lib: Arc<tm_netlist::library::Library>) -> (Netlist, Delay) {
+    let mut spec = GeneratorSpec::sized("asymmetric", 10, 1, 60);
+    spec.seed = 0xBADCAB;
+    let mut nl = generate(&spec, lib.clone());
+    let target = Sta::new(&nl).critical_path_delay() * 0.8;
+    let inv = lib.expect("INV");
+    let mut cur = nl.inputs()[0];
+    for j in 0..(target.units().ceil() as usize + 4) {
+        cur = nl.add_gate(inv, &[cur], format!("c{j}"));
+    }
+    nl.mark_output(cur);
+    (nl, target)
+}
+
+#[test]
+fn shared_budget_trips_exactly_once_and_session_restores() {
+    let _scope = tm_telemetry::Scope::enter();
+    let (nl, target) = asymmetric_netlist(Arc::new(lsi10k_like()));
+    let sta = Sta::new(&nl);
+    assert!(
+        nl.outputs().iter().all(|&o| sta.arrival(o) > target),
+        "both outputs must be critical"
+    );
+
+    // Deterministic per-output step costs, measured serially.
+    let steps_of = |output: NetId| -> u64 {
+        let mut bdd = Bdd::new(nl.inputs().len());
+        let _ = short_path_spcf_of_net(&nl, &sta, &mut bdd, output, target);
+        bdd.steps_taken()
+    };
+    let cheap = steps_of(nl.outputs()[1]);
+    let expensive = steps_of(nl.outputs()[0]);
+    assert!(
+        expensive > cheap + 8,
+        "the XOR tree ({expensive} steps) must dominate the chain ({cheap} steps)"
+    );
+    let mid = cheap + (expensive - cheap) / 2;
+
+    // The caller's manager carries a sentinel budget the failed run must
+    // hand back untouched.
+    let sentinel = Budget::unlimited().with_max_steps(777_777);
+    let mut bdd = Bdd::new(nl.inputs().len());
+    bdd.set_budget(sentinel);
+    let options =
+        SpcfOptions::default().with_jobs(2).with_budget(Budget::unlimited().with_max_steps(mid));
+    let err = try_spcf_with(Algorithm::ShortPath, &nl, &sta, &mut bdd, target, &options)
+        .expect_err("a mid-cost step budget must exhaust the XOR worker");
+    assert_eq!(err.resource, Resource::Steps);
+    assert_eq!(bdd.budget(), sentinel, "session must restore the caller's budget");
+
+    let snap = tm_telemetry::snapshot();
+    assert_eq!(
+        snap.counter("resilience.budget.exhausted"),
+        Some(1),
+        "a shared-budget trip must be counted exactly once"
+    );
+
+    // The same computation with the budget lifted succeeds and matches
+    // a serial run bit-for-bit.
+    let parallel = spcf_with(
+        Algorithm::ShortPath,
+        &nl,
+        &sta,
+        &mut bdd,
+        target,
+        &SpcfOptions::default().with_jobs(2),
+    );
+    let mut serial_bdd = Bdd::new(nl.inputs().len());
+    let serial = spcf_with(
+        Algorithm::ShortPath,
+        &nl,
+        &sta,
+        &mut serial_bdd,
+        target,
+        &SpcfOptions::default(),
+    );
+    assert_eq!(parallel.jobs, 2);
+    assert_eq!(serial.outputs.len(), parallel.outputs.len());
+    for (s, p) in serial.outputs.iter().zip(&parallel.outputs) {
+        assert_eq!(s.output, p.output);
+        assert_eq!(serial_bdd.export(s.spcf), bdd.export(p.spcf));
+    }
+}

@@ -53,8 +53,8 @@ pub mod schema;
 pub mod span;
 
 pub use metrics::{
-    counter_add, gauge_set, histogram_record, reset, snapshot, HistogramStat, Snapshot, SpanStat,
-    BUCKET_BOUNDS,
+    absorb, counter_add, drain, gauge_set, histogram_record, reset, snapshot, HistogramStat,
+    Snapshot, SpanStat, BUCKET_BOUNDS,
 };
 
 use std::cell::Cell;

@@ -113,6 +113,73 @@ pub fn reset() {
     with_registry(|r| *r = Registry::default());
 }
 
+/// Takes the current thread's metrics, leaving the registry empty.
+///
+/// This is the worker half of cross-thread aggregation: a worker thread
+/// drains its registry just before finishing and hands the [`Snapshot`]
+/// to the spawning thread, which folds it in with [`absorb`].
+pub fn drain() -> Snapshot {
+    let snap = snapshot();
+    reset();
+    snap
+}
+
+/// Folds a drained worker [`Snapshot`] into the current thread's
+/// registry: counters add (saturating), gauges keep the incoming value
+/// (last write wins, and the worker finished last), histograms add
+/// bucket-wise, spans add calls and times.
+///
+/// Names are resolved against the closed [`crate::schema`] registry —
+/// that is where the `&'static str` keys come from — so entries whose
+/// names are not registered are dropped, exactly as the CI validator
+/// would reject them. No-op while collection is disabled on this
+/// thread.
+pub fn absorb(snap: &Snapshot) {
+    if !crate::enabled() {
+        return;
+    }
+    let static_metric = |name: &str| {
+        crate::schema::KNOWN_METRICS.iter().find(|(n, _)| *n == name).map(|(n, _)| *n)
+    };
+    let static_span =
+        |name: &str| crate::schema::KNOWN_SPANS.iter().find(|n| **n == name).copied();
+    with_registry(|r| {
+        for (name, v) in &snap.counters {
+            if let Some(key) = static_metric(name) {
+                let c = r.counters.entry(key).or_insert(0);
+                *c = c.saturating_add(*v);
+            }
+        }
+        for (name, v) in &snap.gauges {
+            if let Some(key) = static_metric(name) {
+                r.gauges.insert(key, *v);
+            }
+        }
+        for (name, h) in &snap.histograms {
+            if let Some(key) = static_metric(name) {
+                let into = r.histograms.entry(key).or_default();
+                for (b, add) in into.buckets.iter_mut().zip(&h.buckets) {
+                    *b = b.saturating_add(*add);
+                }
+                into.overflow = into.overflow.saturating_add(h.overflow);
+                into.count = into.count.saturating_add(h.count);
+                into.sum += h.sum;
+            }
+        }
+        for s in &snap.spans {
+            if let Some(key) = static_span(&s.name) {
+                let stat = r
+                    .spans
+                    .entry(key)
+                    .or_insert_with(|| SpanStat { name: key.to_string(), ..SpanStat::default() });
+                stat.calls = stat.calls.saturating_add(s.calls);
+                stat.total_ns = stat.total_ns.saturating_add(s.total_ns);
+                stat.self_ns = stat.self_ns.saturating_add(s.self_ns);
+            }
+        }
+    });
+}
+
 /// A point-in-time copy of the current thread's metrics, ordered by
 /// name for deterministic rendering.
 #[derive(Clone, Debug, Default)]
@@ -304,6 +371,76 @@ mod tests {
                 "spcf.short_path.memo_miss"
             ]
         );
+    }
+
+    #[test]
+    fn absorb_merges_every_metric_kind() {
+        let _scope = Scope::enter();
+        counter_add("spcf.short_path.stab_calls", 3);
+        gauge_set("logic.bdd.nodes", 5.0);
+        histogram_record("spcf.short_path.output_ns", 3.0);
+        {
+            let _span = crate::span!("spcf.short_path");
+        }
+
+        // A "worker" snapshot as another thread would have drained it.
+        let mut worker = Snapshot::default();
+        worker.counters.push(("spcf.short_path.stab_calls".to_string(), 4));
+        worker.counters.push(("not.registered".to_string(), 99));
+        worker.gauges.push(("logic.bdd.nodes".to_string(), 9.0));
+        let mut h = HistogramStat::default();
+        h.record(1.5);
+        h.record(2e12);
+        worker.histograms.push(("spcf.short_path.output_ns".to_string(), h));
+        worker.spans.push(SpanStat {
+            name: "spcf.short_path".to_string(),
+            calls: 2,
+            total_ns: 100,
+            self_ns: 80,
+        });
+
+        absorb(&worker);
+        let snap = snapshot();
+        assert_eq!(snap.counter("spcf.short_path.stab_calls"), Some(7));
+        assert_eq!(snap.counter("not.registered"), None, "unknown names are dropped");
+        assert_eq!(snap.gauge("logic.bdd.nodes"), Some(9.0), "worker gauge wins");
+        let merged = snap.histogram("spcf.short_path.output_ns").expect("merged");
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.overflow, 1);
+        let span = snap.span("spcf.short_path").expect("merged span");
+        assert_eq!(span.calls, 3);
+        assert!(span.total_ns >= 100, "worker time folded in: {span:?}");
+        assert!(span.self_ns <= span.total_ns);
+    }
+
+    #[test]
+    fn drain_empties_and_absorb_restores_across_threads() {
+        let _scope = Scope::enter();
+        counter_add("sim.timing.events", 1);
+        let workers: Vec<Snapshot> = std::thread::scope(|scope| {
+            (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        crate::set_thread_enabled(Some(true));
+                        counter_add("sim.timing.events", 10);
+                        drain()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        for w in &workers {
+            assert_eq!(w.counter("sim.timing.events"), Some(10));
+            absorb(w);
+        }
+        assert_eq!(snapshot().counter("sim.timing.events"), Some(31));
+        // drain leaves the worker registry empty — verified locally too.
+        counter_add("sim.timing.events", 1);
+        let drained = drain();
+        assert_eq!(drained.counter("sim.timing.events"), Some(32));
+        assert!(snapshot().is_empty());
     }
 
     #[test]

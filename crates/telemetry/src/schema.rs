@@ -67,6 +67,7 @@ pub const KNOWN_SPANS: &[&str] = &[
     "spcf.path_based",
     "spcf.node_based",
     "spcf.conservative",
+    "spcf.parallel",
     "masking.synthesize",
     "masking.spcf",
     "masking.extract",

@@ -87,6 +87,7 @@ pub struct BenchGroup {
     sample_size: usize,
     warmup: Duration,
     results: Vec<BenchStats>,
+    meta: Vec<(&'static str, f64)>,
 }
 
 impl BenchGroup {
@@ -97,6 +98,7 @@ impl BenchGroup {
             sample_size: 20,
             warmup: Duration::from_millis(200),
             results: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -110,6 +112,17 @@ impl BenchGroup {
     /// Sets the warmup duration per benchmark.
     pub fn warmup(&mut self, d: Duration) -> &mut Self {
         self.warmup = d;
+        self
+    }
+
+    /// Records a group-level metadata value (e.g. the worker count a
+    /// run used), emitted in the JSON report's `meta` object. A repeated
+    /// key overwrites the earlier value.
+    pub fn meta(&mut self, key: &'static str, value: f64) -> &mut Self {
+        match self.meta.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.meta.push((key, value)),
+        }
         self
     }
 
@@ -169,6 +182,10 @@ impl BenchGroup {
         let dir = std::env::var(DIR_ENV).unwrap_or_else(|_| default_report_dir());
         let report = Json::obj([
             ("group", Json::str(self.name.clone())),
+            (
+                "meta",
+                Json::obj(self.meta.iter().map(|&(k, v)| (k, Json::Num(v)))),
+            ),
             ("results", Json::Arr(self.results.iter().map(BenchStats::to_json).collect())),
         ]);
         let path = format!("{dir}/{}.json", self.name);
@@ -243,6 +260,13 @@ mod tests {
         assert!(s.median_ns >= s.min_ns);
         assert_eq!(s.samples, 3);
         // Don't write a report from unit tests.
+    }
+
+    #[test]
+    fn meta_overwrites_repeated_keys() {
+        let mut g = BenchGroup::new("testkit_meta");
+        g.meta("jobs", 1.0).meta("gates", 42.0).meta("jobs", 4.0);
+        assert_eq!(g.meta, vec![("jobs", 4.0), ("gates", 42.0)]);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 #    `TmError` instead. Stale allowlist entries fail too.
 # 5. Fuzz smoke: the mutation-based BLIF parser fuzz suite (hundreds of
 #    adversarial documents; any panic fails the run).
+# 6. Parallel smoke (DESIGN.md §8): rerun the differential SPCF oracle
+#    suite with the per-output driver sharded across 4 workers — `jobs`
+#    must never change a result.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,5 +88,8 @@ echo "ok: every panic-capable library file is allowlisted"
 
 echo "== parser fuzz smoke =="
 cargo test -q --offline -p tm-netlist --test blif_fuzz
+
+echo "== parallel driver smoke (TM_SPCF_JOBS=4) =="
+TM_SPCF_JOBS=4 cargo test -q --offline -p tm-spcf --test differential_oracle
 
 echo "CI OK"
