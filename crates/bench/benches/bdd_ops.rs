@@ -1,0 +1,114 @@
+//! Micro-benchmarks for the `tm_logic::Bdd` hot core: node creation
+//! (`mk` via and/or trees), `ite` traffic (global BDDs of generated
+//! cones), negation, and `PortableBdd` export.
+//!
+//! The JSON report (`target/tm-bench/bdd_ops.json`) records the
+//! node-store variant in `meta.variant` so before/after entries of the
+//! perf trajectory (`BENCH_bdd.json`) are comparable:
+//! 0 = HashMap-keyed plain ROBDD (seed), 1 = complement-edge SoA store
+//! with open-addressed unique table.
+//!
+//! Flags (see [`BenchArgs`]): `--samples N`, `--metrics-out PATH`,
+//! `--smoke` (smaller cones).
+
+use std::hint::black_box;
+use tm_bench::{harness_library, BenchArgs};
+use tm_logic::Bdd;
+use tm_netlist::generate::{generate, GeneratorSpec};
+use tm_netlist::Netlist;
+use tm_spcf::net_global_bdds;
+use tm_testkit::bench::BenchGroup;
+
+/// The node-store variant recorded in `meta.variant` (see module docs).
+const NODE_STORE_VARIANT: f64 = 1.0;
+
+fn cone(inputs: usize, outputs: usize, gates: usize, seed: u64) -> Netlist {
+    let mut spec =
+        GeneratorSpec::sized(format!("bdd_cone_{inputs}x{gates}"), inputs, outputs, gates);
+    spec.seed = seed;
+    generate(&spec, harness_library())
+}
+
+/// Builds an and/or tree over alternating-polarity literals: pure
+/// `mk`/unique-table churn with small recursion depth.
+fn literal_tree(bdd: &mut Bdd, width: usize) -> tm_logic::BddRef {
+    let mut layer: Vec<_> = (0..width)
+        .map(|v| {
+            let f = bdd.var(v % bdd.num_vars());
+            if v % 3 == 0 {
+                bdd.not(f)
+            } else {
+                f
+            }
+        })
+        .collect();
+    let mut and_layer = true;
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 1 {
+                    c[0]
+                } else if and_layer {
+                    bdd.and(c[0], c[1])
+                } else {
+                    bdd.or(c[0], c[1])
+                }
+            })
+            .collect();
+        and_layer = !and_layer;
+    }
+    layer[0]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut group = BenchGroup::new("bdd_ops");
+    group.sample_size(20);
+    args.apply(&mut group);
+    group.meta("variant", NODE_STORE_VARIANT);
+
+    let (gates, width) = if args.smoke { (60, 32) } else { (220, 96) };
+    let nl = cone(14, 4, gates, 0xBDD);
+
+    group.bench("mk/literal_tree", || {
+        let mut bdd = Bdd::new(16);
+        black_box(literal_tree(&mut bdd, width))
+    });
+
+    group.bench("ite/cone_globals", || {
+        let mut bdd = Bdd::new(nl.inputs().len());
+        black_box(net_global_bdds(&nl, &mut bdd).len())
+    });
+
+    group.bench("negation/demorgan", || {
+        let mut bdd = Bdd::new(16);
+        let f = literal_tree(&mut bdd, width);
+        // ¬(f ∧ x_i) folded through De Morgan: negation-heavy churn.
+        let mut acc = bdd.not(f);
+        for v in 0..16 {
+            let x = bdd.var(v);
+            let nx = bdd.not(x);
+            let t = bdd.and(acc, nx);
+            acc = bdd.not(t);
+        }
+        black_box(acc)
+    });
+
+    // Export benches a prebuilt manager: structural DFS only.
+    let mut bdd = Bdd::new(nl.inputs().len());
+    let globals = net_global_bdds(&nl, &mut bdd);
+    let roots: Vec<_> = nl.outputs().iter().map(|&o| globals[o.index()]).collect();
+    group.bench("export/cone_globals", || {
+        let total: usize = roots.iter().map(|&r| bdd.export(r).node_count()).sum();
+        black_box(total)
+    });
+
+    // Publish the prebuilt manager's lifetime stats so a
+    // `--metrics-out` snapshot carries the `bdd.*` counters (CI's
+    // cache-stats sanity gate requires nonzero cache hits here).
+    bdd.publish_metrics();
+
+    group.finish();
+    args.write_metrics();
+}

@@ -6,56 +6,45 @@
 //! choice of Δ_y = 0.9Δ: close to Δ the SPCF is a thin, cheap-to-mask
 //! slice; deeper targets sweep in ever more logic.
 //!
+//! The whole ladder runs against **one warm SPCF session** per circuit
+//! ([`tm_masking::synthesize_sweep`]): one BDD manager, one prime
+//! cache, one global-BDD cache, and one short-path memo serve all
+//! eight thresholds, evaluated in descending-Δ_y order so every point
+//! extends the previous one's memoized stabilization queries.
+//!
 //! Run with: `cargo run -p tm-bench --release --bin sweep`
 
 use tm_bench::harness_library;
-use tm_logic::Bdd;
-use tm_masking::{synthesize, MaskingOptions};
+use tm_masking::{synthesize_sweep, MaskingOptions};
 use tm_netlist::suites::table1_suite;
-use tm_spcf::{spcf_with, Algorithm, SpcfOptions};
+use tm_spcf::SpcfOptions;
 use tm_sta::Sta;
 
 fn main() {
     let lib = harness_library();
     let jobs = SpcfOptions::jobs_from_env();
-    let spcf_options = SpcfOptions::default().with_jobs(jobs);
-    println!("Protection-band sweep (short-path SPCF; stand-in circuits)");
+    let fractions = [0.99, 0.95, 0.90, 0.85, 0.80, 0.70, 0.60, 0.50];
+    println!("Protection-band sweep (warm short-path SPCF; stand-in circuits)");
     for entry in table1_suite().iter().take(3) {
         let nl = entry.build(lib.clone());
-        let sta = Sta::new(&nl);
-        let delta = sta.critical_path_delay();
+        let delta = Sta::new(&nl).critical_path_delay();
         println!(
             "\n{} ({} gates, Δ = {}):",
             entry.name,
             nl.num_gates(),
             delta
         );
-        println!("  Δy/Δ   crit POs   SPCF fraction   masking area%   masking slack%");
-        for pct in [50u32, 60, 70, 80, 85, 90, 95, 99] {
-            let frac = pct as f64 / 100.0;
-            let target = delta * frac;
-            let mut bdd = Bdd::new(nl.inputs().len());
-            let spcf = spcf_with(Algorithm::ShortPath, &nl, &sta, &mut bdd, target, &spcf_options);
-            // Mean per-output SPCF fraction of the input space.
-            let fractions: Vec<f64> = spcf
-                .outputs
-                .iter()
-                .map(|o| bdd.sat_fraction(o.spcf))
-                .collect();
-            let mean_fraction = if fractions.is_empty() {
-                0.0
-            } else {
-                fractions.iter().sum::<f64>() / fractions.len() as f64
-            };
-            let opts = MaskingOptions { target_fraction: frac, jobs, ..Default::default() };
-            let r = synthesize(&nl, opts);
+        println!("  Δy/Δ   crit POs   SPCF fraction   masking area%   masking slack%   compute");
+        let options = MaskingOptions { jobs, ..Default::default() };
+        for p in synthesize_sweep(&nl, &fractions, &options) {
             println!(
-                "  {:.2}   {:>8}   {:>13.3e}   {:>13.1}   {:>14.1}",
-                frac,
-                spcf.outputs.len(),
-                mean_fraction,
-                r.report.area_overhead_percent,
-                r.report.slack_percent,
+                "  {:.2}   {:>8}   {:>13.3e}   {:>13.1}   {:>14.1}   {:>7.1?}",
+                p.fraction,
+                p.report.critical_outputs,
+                p.mean_spcf_fraction,
+                p.report.area_overhead_percent,
+                p.report.slack_percent,
+                p.report.synthesis_time,
             );
         }
     }

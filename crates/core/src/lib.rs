@@ -51,5 +51,5 @@ pub use design::{MaskedDesign, ProbeTriple, ProtectedOutput};
 pub use inject::{inject_and_measure, original_only_aging, speedpath_patterns, uniform_aging, InjectionOutcome};
 pub use options::{CubeSelection, MaskingOptions};
 pub use report::MaskingReport;
-pub use synth::{synthesize, DegradationLevel, MaskingResult};
+pub use synth::{synthesize, synthesize_sweep, DegradationLevel, MaskingResult, SweepPoint};
 pub use verify::{verify, OutputVerdict, VerificationReport};

@@ -33,7 +33,7 @@ use tm_netlist::map::tech_map;
 use tm_netlist::sop_network::{SigId, SigKind, SopNetwork};
 use tm_netlist::{Delay, NetId, Netlist};
 use tm_resilience::Budget;
-use tm_spcf::{try_spcf_with, Algorithm, SpcfOptions, SpcfSet};
+use tm_spcf::{try_spcf_with, Algorithm, SpcfOptions, SpcfSet, WarmSession};
 use tm_sta::Sta;
 
 /// How far the SPCF engine ladder had to degrade to fit the
@@ -154,12 +154,6 @@ impl std::fmt::Debug for MaskingResult {
 /// ```
 pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
     options.validate();
-    // Progress eprintln's are the verbose tier: structured spans and
-    // counters cover TM_TRACE=1, the log lines only appear at 2.
-    let trace = tm_telemetry::trace_level() >= 2;
-    macro_rules! trace {
-        ($($arg:tt)*) => { if trace { eprintln!($($arg)*); } };
-    }
     let _span = tm_telemetry::span!("masking.synthesize");
     let start = Instant::now();
     let sta = Sta::new(netlist);
@@ -170,6 +164,137 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
         let _s = tm_telemetry::span!("masking.spcf");
         spcf_ladder(netlist, &sta, target, options.budget, options.jobs)
     };
+    let (design, report) =
+        synthesize_from_spcf(netlist, &mut bdd, &spcf, delta, target, degradation, &options, start);
+    bdd.publish_metrics();
+    MaskingResult { design, bdd, spcf, report }
+}
+
+/// One point of [`synthesize_sweep`]: the masked design and its report
+/// at one target fraction, plus the SPCF summary statistic the sweep
+/// binaries print.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// The target fraction this point protects (`Δ_y = fraction × Δ`).
+    pub fraction: f64,
+    /// The synthesized masked design at this point.
+    pub design: MaskedDesign,
+    /// Metrics at this point ([`MaskingReport::synthesis_time`] is the
+    /// per-point compute time, SPCF included).
+    pub report: MaskingReport,
+    /// Mean per-output SPCF fraction of the input space.
+    pub mean_spcf_fraction: f64,
+}
+
+/// Synthesizes masking for a ladder of target fractions against **one
+/// warm SPCF session**: one BDD manager, one prime cache, one
+/// global-BDD cache, and one short-path memo serve every point instead
+/// of being rebuilt per threshold.
+///
+/// Fractions are evaluated in descending-`Δ_y` order (highest fraction
+/// first), so each point only extends the memoized stabilization
+/// queries of the previous one — the monotonicity
+/// `Σ_y(Δ') ⊆ Σ_y(Δ)` for `Δ' ≥ Δ` means a tighter target revisits the
+/// same cone with earlier query times that are already partially
+/// cached. Points are returned in that evaluation order, tagged with
+/// their fraction.
+///
+/// A point whose warm computation exhausts the budget falls back to
+/// the cold per-point ladder of [`synthesize`] (fresh manager per
+/// rung, honoring `options.jobs`), so degraded points cost what they
+/// always did and warm points are pure win.
+///
+/// # Panics
+///
+/// Panics if the options are invalid or `fractions` is empty.
+pub fn synthesize_sweep(
+    netlist: &Netlist,
+    fractions: &[f64],
+    options: &MaskingOptions,
+) -> Vec<SweepPoint> {
+    options.validate();
+    assert!(!fractions.is_empty(), "sweep needs at least one fraction");
+    let _span = tm_telemetry::span!("masking.sweep");
+    let sta = Sta::new(netlist);
+    let delta = sta.critical_path_delay();
+    let mut ladder = fractions.to_vec();
+    ladder.sort_by(|a, b| b.total_cmp(a));
+
+    let mut bdd = Bdd::new(netlist.inputs().len().max(1));
+    let mut session =
+        WarmSession::new(Algorithm::ShortPath, netlist, &sta, &mut bdd, options.budget);
+    let mut points = Vec::with_capacity(ladder.len());
+    for frac in ladder {
+        let start = Instant::now();
+        let target = delta * frac;
+        let point = match session.try_retarget(target) {
+            Ok(spcf) => {
+                let mean_spcf_fraction = mean_spcf_fraction(session.bdd(), &spcf);
+                let (design, report) = synthesize_from_spcf(
+                    netlist,
+                    session.bdd_mut(),
+                    &spcf,
+                    delta,
+                    target,
+                    DegradationLevel::Exact,
+                    options,
+                    start,
+                );
+                SweepPoint { fraction: frac, design, report, mean_spcf_fraction }
+            }
+            Err(e) => {
+                if tm_telemetry::trace_level() >= 2 {
+                    eprintln!("[sweep] warm short-path SPCF at {frac}: {e}; cold ladder");
+                }
+                let r =
+                    synthesize(netlist, MaskingOptions { target_fraction: frac, ..*options });
+                let mean_spcf_fraction = mean_spcf_fraction(&r.bdd, &r.spcf);
+                SweepPoint {
+                    fraction: frac,
+                    design: r.design,
+                    report: r.report,
+                    mean_spcf_fraction,
+                }
+            }
+        };
+        points.push(point);
+    }
+    drop(session);
+    bdd.publish_metrics();
+    points
+}
+
+/// Mean per-output SPCF fraction of the input space (zero when no
+/// output is critical).
+fn mean_spcf_fraction(bdd: &Bdd, spcf: &SpcfSet) -> f64 {
+    if spcf.outputs.is_empty() {
+        return 0.0;
+    }
+    spcf.outputs.iter().map(|o| bdd.sat_fraction(o.spcf)).sum::<f64>() / spcf.outputs.len() as f64
+}
+
+/// The synthesis flow from a computed SPCF set onward: cover
+/// selection, masking-network assembly, mapping, slack enforcement,
+/// and measurement. Factored out so [`synthesize`] (cold per-call
+/// ladder) and [`synthesize_sweep`] (one warm SPCF session across a
+/// descending `Δ_y` ladder) share it exactly.
+#[allow(clippy::too_many_arguments)]
+fn synthesize_from_spcf(
+    netlist: &Netlist,
+    bdd: &mut Bdd,
+    spcf: &SpcfSet,
+    delta: Delay,
+    target: Delay,
+    degradation: DegradationLevel,
+    options: &MaskingOptions,
+    start: Instant,
+) -> (MaskedDesign, MaskingReport) {
+    // Progress eprintln's are the verbose tier: structured spans and
+    // counters cover TM_TRACE=1, the log lines only appear at 2.
+    let trace = tm_telemetry::trace_level() >= 2;
+    macro_rules! trace {
+        ($($arg:tt)*) => { if trace { eprintln!($($arg)*); } };
+    }
     trace!("[synth {:?}] spcf ladder settled at {degradation}", start.elapsed());
     // The guard-everything rung has no per-pattern information to prune
     // against, and essential-weight selection would only rediscover the
@@ -189,8 +314,8 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
 
     if protected_outputs.is_empty() {
         let design = MaskedDesign::unprotected(netlist.clone());
-        let report = MaskingReport::measure(&design, &spcf, &mut bdd, delta, target, options.slack_fraction, degradation, start.elapsed());
-        return MaskingResult { design, bdd, spcf, report };
+        let report = MaskingReport::measure(&design, spcf, bdd, delta, target, options.slack_fraction, degradation, start.elapsed());
+        return (design, report);
     }
 
     // Technology-independent view of the original circuit. Global BDDs
@@ -203,7 +328,7 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
     let extract_span = tm_telemetry::span!("masking.extract");
     let tin = extract(netlist, options.extract);
     trace!("[synth {:?}] extract done ({} nodes)", start.elapsed(), tin.num_nodes());
-    let globals: Vec<BddRef> = if use_care { tin.global_bdds(&mut bdd) } else { Vec::new() };
+    let globals: Vec<BddRef> = if use_care { tin.global_bdds(bdd) } else { Vec::new() };
     trace!("[synth {:?}] globals done", start.elapsed());
     drop(extract_span);
 
@@ -270,8 +395,8 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
                 let care_on = bdd.and(*care_sig, f_sig);
                 let care_off = bdd.and(*care_sig, not_f);
                 (
-                    select_cover_by_essential_weight(&mut bdd, &on_cover, input_globals, care_on),
-                    select_cover_by_essential_weight(&mut bdd, &off_cover, input_globals, care_off),
+                    select_cover_by_essential_weight(bdd, &on_cover, input_globals, care_on),
+                    select_cover_by_essential_weight(bdd, &off_cover, input_globals, care_off),
                 )
             }
             None => (on_cover.clone(), off_cover.clone()),
@@ -285,7 +410,7 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
         let e_cover = qm::minimize(&e_tt, &TruthTable::zero(arity)).sorted_by_literal_count();
         let e_final = match &care_ctx {
             Some((input_globals, care_sig)) => {
-                select_cover_by_essential_weight(&mut bdd, &e_cover, input_globals, *care_sig)
+                select_cover_by_essential_weight(bdd, &e_cover, input_globals, *care_sig)
             }
             None => e_cover,
         };
@@ -375,10 +500,9 @@ pub fn synthesize(netlist: &Netlist, options: MaskingOptions) -> MaskingResult {
 
     let design = assemble_masked_design(netlist, masking, &masked_meta);
     trace!("[synth {:?}] combined built ({} gates)", start.elapsed(), design.combined.num_gates());
-    let report = MaskingReport::measure(&design, &spcf, &mut bdd, delta, target, options.slack_fraction, degradation, start.elapsed());
+    let report = MaskingReport::measure(&design, spcf, bdd, delta, target, options.slack_fraction, degradation, start.elapsed());
     trace!("[synth {:?}] measured", start.elapsed());
-    bdd.publish_metrics();
-    MaskingResult { design, bdd, spcf, report }
+    (design, report)
 }
 
 /// Assembles the combined masked design (Fig. 1): fresh inputs, the
@@ -658,6 +782,33 @@ mod tests {
         for m in 0..16u64 {
             let a: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
             assert_eq!(full.design.combined.eval(&a), nl.eval(&a));
+        }
+    }
+
+    #[test]
+    fn sweep_matches_cold_per_point_synthesis() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let points = synthesize_sweep(&nl, &[0.5, 0.9, 0.99], &MaskingOptions::default());
+        assert_eq!(points.len(), 3);
+        // Evaluated (and returned) in descending-Δ_y order.
+        assert!(points.windows(2).all(|w| w[0].fraction >= w[1].fraction));
+        for p in &points {
+            let cold = synthesize(
+                &nl,
+                MaskingOptions { target_fraction: p.fraction, ..Default::default() },
+            );
+            assert_eq!(
+                p.report.critical_outputs, cold.report.critical_outputs,
+                "fraction {}",
+                p.fraction
+            );
+            assert_eq!(p.report.critical_patterns, cold.report.critical_patterns);
+            assert_eq!(p.design.combined.num_gates(), cold.design.combined.num_gates());
+            assert_eq!(p.report.degradation, DegradationLevel::Exact);
+            for m in 0..16u64 {
+                let a: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+                assert_eq!(p.design.combined.eval(&a), nl.eval(&a), "m={m}");
+            }
         }
     }
 

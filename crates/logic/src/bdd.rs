@@ -1,21 +1,43 @@
-//! Reduced ordered binary decision diagrams (ROBDDs).
+//! Reduced ordered binary decision diagrams (ROBDDs) with complement
+//! edges.
 //!
 //! Speed-path characteristic functions range over *all primary inputs* of
 //! a circuit — hundreds of variables with astronomically many satisfying
 //! patterns (Table 2 of the paper reports up to 8.8×10¹⁰⁷ critical
 //! minterms). BDDs represent and count such sets exactly.
 //!
-//! The manager is a classic Shannon-expansion ROBDD with a unique table
-//! and an ITE computed-cache. Functions are referenced by [`BddRef`]
-//! handles; equal functions always have equal handles (canonicity), so
-//! equivalence checking is `==`.
+//! The manager is a Shannon-expansion ROBDD tuned for the SPCF hot
+//! path (see DESIGN.md "BDD internals & warm sessions"):
+//!
+//! - **Complement edges.** A [`BddRef`] packs `(node index << 1) |
+//!   complement`; a single terminal node represents both constants, and
+//!   negation is an O(1) bit flip. Canonicity is kept by the
+//!   *low-edge-never-complemented* rule: `mk` that would store a
+//!   complemented low edge stores the negated node and returns a
+//!   complemented handle instead.
+//! - **Struct-of-arrays node store.** `var[]` / `lo[]` / `hi[]` keep
+//!   traversal (`sat_fraction`, export, the short-path memo recursion)
+//!   cache-friendly.
+//! - **Open-addressed unique table.** Power-of-two capacity, linear
+//!   probing over FNV-mixed packed keys, and *incremental rehash*: a
+//!   growth keeps the previous table alive and migrates a few slots per
+//!   insert, so no single `mk` pays a full-table stall.
+//! - **Direct-mapped lossy computed caches** for `ite` and the
+//!   quantifier recursion: a collision simply overwrites (counted as an
+//!   eviction) and a lost entry only costs a recomputation — never a
+//!   wrong result.
+//!
+//! Functions are referenced by [`BddRef`] handles; equal functions
+//! always have equal handles (canonicity), so equivalence checking is
+//! `==`.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use tm_resilience::{Budget, Exhausted};
 
-/// Handle to a BDD node (a Boolean function) inside a [`Bdd`] manager.
+/// Handle to a BDD function inside a [`Bdd`] manager: a packed edge
+/// `(node index << 1) | complement`.
 ///
 /// Handles are only meaningful for the manager that created them.
 /// Canonicity guarantees `f == g` iff the functions are equal.
@@ -23,7 +45,8 @@ use tm_resilience::{Budget, Exhausted};
 pub struct BddRef(u32);
 
 impl BddRef {
-    /// The raw node index (stable for the lifetime of the manager).
+    /// The raw packed edge (node index and complement bit), stable for
+    /// the lifetime of the manager.
     pub fn index(self) -> u32 {
         self.0
     }
@@ -32,25 +55,77 @@ impl BddRef {
 impl fmt::Debug for BddRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.0 {
-            0 => write!(f, "BddRef(⊥)"),
-            1 => write!(f, "BddRef(⊤)"),
-            i => write!(f, "BddRef({i})"),
+            ONE => write!(f, "BddRef(⊤)"),
+            ZERO => write!(f, "BddRef(⊥)"),
+            e if e & 1 == 1 => write!(f, "BddRef(¬{})", e >> 1),
+            e => write!(f, "BddRef({})", e >> 1),
         }
     }
 }
 
-#[derive(Clone, Copy)]
-struct Node {
-    var: u32,
-    lo: u32,
-    hi: u32,
+/// The constant-true edge: the terminal node (index 0), uncomplemented.
+const ONE: u32 = 0;
+/// The constant-false edge: the terminal node, complemented.
+const ZERO: u32 = 1;
+/// Terminal "variable" index: compares greater than every real variable
+/// so that terminals sink to the bottom of the order.
+const TERMINAL_VAR: u32 = u32::MAX;
+/// Node indices must leave room for the complement bit.
+const MAX_NODE_INDEX: u32 = (u32::MAX >> 1) - 1;
+
+/// Empty slot sentinel in the unique table: node 0 is the terminal and
+/// is never hashed.
+const UNIQUE_EMPTY: u32 = 0;
+/// Initial unique-table capacity (power of two).
+const UNIQUE_INITIAL_CAP: usize = 1 << 10;
+/// Old-table slots migrated per insert during an incremental rehash.
+const UNIQUE_MIGRATE_PER_INSERT: usize = 8;
+
+/// Invalid-entry sentinel for the ITE cache's `f` field (a normalized
+/// `f` is a non-terminal uncomplemented edge, so ≥ 2 and even).
+const ITE_INVALID: u32 = u32::MAX;
+/// Initial ITE-cache capacity (entries, power of two).
+const ITE_INITIAL_CAP: usize = 1 << 13;
+/// ITE-cache growth ceiling (entries).
+const ITE_MAX_CAP: usize = 1 << 22;
+/// Quantifier-cache capacity (entries, power of two). Entries are
+/// invalidated wholesale per top-level `exists` via a generation tag.
+const QUANT_CAP: usize = 1 << 12;
+
+#[inline]
+fn fnv_mix(packed: u64, var: u32) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = (FNV_OFFSET ^ packed).wrapping_mul(FNV_PRIME);
+    h = (h ^ var as u64).wrapping_mul(FNV_PRIME);
+    // Fold the well-mixed high bits down for short power-of-two masks.
+    h ^ (h >> 31)
 }
 
-const FALSE_IDX: u32 = 0;
-const TRUE_IDX: u32 = 1;
-/// Terminal "variable" index: compares greater than every real variable so
-/// that terminals sink to the bottom of the order.
-const TERMINAL_VAR: u32 = u32::MAX;
+#[inline]
+fn hash_node(var: u32, lo: u32, hi: u32) -> u64 {
+    fnv_mix((lo as u64) | ((hi as u64) << 32), var)
+}
+
+/// One entry of the direct-mapped ITE computed cache.
+#[derive(Clone, Copy)]
+struct IteEntry {
+    f: u32,
+    g: u32,
+    h: u32,
+    r: u32,
+}
+
+const ITE_EMPTY: IteEntry = IteEntry { f: ITE_INVALID, g: 0, h: 0, r: 0 };
+
+/// One entry of the direct-mapped quantifier cache; `gen` ties the
+/// entry to one top-level `exists` call.
+#[derive(Clone, Copy)]
+struct QuantEntry {
+    key: u64,
+    gen: u32,
+    r: u32,
+}
 
 /// A BDD manager: owns the node store, unique table and operation caches.
 ///
@@ -79,10 +154,22 @@ const TERMINAL_VAR: u32 = u32::MAX;
 /// ```
 pub struct Bdd {
     num_vars: u32,
-    nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), u32>,
-    quant_cache: HashMap<(u32, u64), u32>,
+    /// Struct-of-arrays node store; entry 0 is the shared terminal.
+    vars: Vec<u32>,
+    los: Vec<u32>,
+    his: Vec<u32>,
+    /// Open-addressed unique table: slots hold node indices,
+    /// [`UNIQUE_EMPTY`] marks a free slot.
+    u_slots: Vec<u32>,
+    /// Previous table during an incremental rehash (empty otherwise).
+    u_old: Vec<u32>,
+    /// Next `u_old` slot to migrate.
+    u_cursor: usize,
+    /// Direct-mapped lossy ITE computed cache.
+    ite_cache: Vec<IteEntry>,
+    /// Direct-mapped lossy quantifier cache.
+    quant_cache: Vec<QuantEntry>,
+    quant_gen: u32,
     stats: BddStats,
     /// Stats as of the last [`Bdd::publish_metrics`] call, so repeated
     /// publishes from one manager emit deltas, never double-counts.
@@ -105,10 +192,20 @@ pub struct BddStats {
     pub unique_hits: u64,
     /// `mk` calls that allocated a fresh node.
     pub unique_misses: u64,
+    /// Unique-table growths (each starts an incremental rehash).
+    pub unique_rehashes: u64,
     /// `ite` recursions resolved from the computed-cache.
     pub ite_cache_hits: u64,
     /// `ite` recursions that had to expand (and then filled the cache).
     pub ite_cache_misses: u64,
+    /// Live ITE-cache entries overwritten by a colliding fill (the
+    /// direct-mapped cache is lossy: an eviction costs a recomputation
+    /// later, never a wrong result).
+    pub ite_cache_evictions: u64,
+    /// Quantifier recursions resolved from the quantifier cache.
+    pub quant_cache_hits: u64,
+    /// Quantifier recursions that had to expand.
+    pub quant_cache_misses: u64,
     /// Times the operation caches were dropped via
     /// [`Bdd::clear_op_caches`].
     pub op_cache_clears: u64,
@@ -116,7 +213,7 @@ pub struct BddStats {
 
 impl fmt::Debug for Bdd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bdd({} vars, {} nodes)", self.num_vars, self.nodes.len())
+        write!(f, "Bdd({} vars, {} nodes)", self.num_vars, self.vars.len())
     }
 }
 
@@ -124,16 +221,26 @@ impl Bdd {
     /// Creates a manager for functions over `num_vars` variables, ordered
     /// by ascending index.
     pub fn new(num_vars: usize) -> Self {
-        let nodes = vec![
-            Node { var: TERMINAL_VAR, lo: FALSE_IDX, hi: FALSE_IDX },
-            Node { var: TERMINAL_VAR, lo: TRUE_IDX, hi: TRUE_IDX },
-        ];
+        Self::with_cache_capacity(num_vars, ITE_INITIAL_CAP)
+    }
+
+    /// Creates a manager with an explicit initial ITE computed-cache
+    /// capacity (rounded up to a power of two, minimum 2). Smaller
+    /// caches trade hit rate for memory; because the cache is lossy,
+    /// capacity never affects any result — only the stats.
+    pub fn with_cache_capacity(num_vars: usize, ite_entries: usize) -> Self {
+        let ite_cap = ite_entries.next_power_of_two().max(2);
         Bdd {
             num_vars: num_vars as u32,
-            nodes,
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
-            quant_cache: HashMap::new(),
+            vars: vec![TERMINAL_VAR],
+            los: vec![ONE],
+            his: vec![ONE],
+            u_slots: vec![UNIQUE_EMPTY; UNIQUE_INITIAL_CAP],
+            u_old: Vec::new(),
+            u_cursor: 0,
+            ite_cache: vec![ITE_EMPTY; ite_cap],
+            quant_cache: vec![QuantEntry { key: 0, gen: 0, r: 0 }; QUANT_CAP],
+            quant_gen: 0,
             stats: BddStats::default(),
             published: BddStats::default(),
             budget: Budget::unlimited(),
@@ -184,19 +291,20 @@ impl Bdd {
         self.num_vars as usize
     }
 
-    /// Total nodes allocated so far (a capacity/effort metric).
+    /// Total nodes allocated so far (a capacity/effort metric; includes
+    /// the shared terminal).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.vars.len()
     }
 
     /// The constant-false function.
     pub fn zero(&self) -> BddRef {
-        BddRef(FALSE_IDX)
+        BddRef(ZERO)
     }
 
     /// The constant-true function.
     pub fn one(&self) -> BddRef {
-        BddRef(TRUE_IDX)
+        BddRef(ONE)
     }
 
     /// The projection function of variable `var`.
@@ -211,7 +319,7 @@ impl Bdd {
     /// Budget-checked [`Bdd::var`].
     pub fn try_var(&mut self, var: usize) -> Result<BddRef, Exhausted> {
         assert!((var as u32) < self.num_vars, "variable {var} out of range");
-        Ok(BddRef(self.mk(var as u32, FALSE_IDX, TRUE_IDX)?))
+        Ok(BddRef(self.mk(var as u32, ZERO, ONE)?))
     }
 
     /// The negated projection of variable `var`.
@@ -222,7 +330,7 @@ impl Bdd {
     /// Budget-checked [`Bdd::nvar`].
     pub fn try_nvar(&mut self, var: usize) -> Result<BddRef, Exhausted> {
         assert!((var as u32) < self.num_vars, "variable {var} out of range");
-        Ok(BddRef(self.mk(var as u32, TRUE_IDX, FALSE_IDX)?))
+        Ok(BddRef(self.mk(var as u32, ONE, ZERO)?))
     }
 
     /// A literal: variable `var` with the given polarity.
@@ -239,32 +347,129 @@ impl Bdd {
         }
     }
 
+    /// Finds-or-creates the node `(var, lo, hi)` and returns its edge,
+    /// normalizing to the canonical polarity: the stored low edge is
+    /// never complemented (`mk(v, ¬a, b) = ¬mk(v, a, ¬b)`).
     fn mk(&mut self, var: u32, lo: u32, hi: u32) -> Result<u32, Exhausted> {
         if lo == hi {
             return Ok(lo);
         }
-        if let Some(&idx) = self.unique.get(&(var, lo, hi)) {
+        // Canonical polarity: push a complemented low edge to the output.
+        let out = lo & 1;
+        let (lo, hi) = (lo ^ out, hi ^ out);
+        let hash = hash_node(var, lo, hi);
+        if let Some(idx) = self.unique_find(hash, var, lo, hi) {
             self.stats.unique_hits += 1;
-            return Ok(idx);
+            return Ok((idx << 1) | out);
         }
-        self.budget.check_bdd_nodes(self.nodes.len() as u64)?;
+        self.budget.check_bdd_nodes(self.vars.len() as u64)?;
         self.stats.unique_misses += 1;
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), idx);
-        Ok(idx)
+        let idx = self.vars.len() as u32;
+        assert!(idx <= MAX_NODE_INDEX, "BDD node store exceeds 2^31 nodes");
+        self.vars.push(var);
+        self.los.push(lo);
+        self.his.push(hi);
+        self.unique_insert(hash, idx);
+        Ok((idx << 1) | out)
     }
 
-    fn top_var(&self, f: u32) -> u32 {
-        self.nodes[f as usize].var
+    /// Probes the unique table (and, mid-rehash, the previous table)
+    /// for the node `(var, lo, hi)`.
+    #[inline]
+    fn unique_find(&self, hash: u64, var: u32, lo: u32, hi: u32) -> Option<u32> {
+        let probe = |slots: &[u32]| -> Option<u32> {
+            if slots.is_empty() {
+                return None;
+            }
+            let mask = slots.len() - 1;
+            let mut i = hash as usize & mask;
+            loop {
+                let s = slots[i];
+                if s == UNIQUE_EMPTY {
+                    return None;
+                }
+                let n = s as usize;
+                if self.vars[n] == var && self.los[n] == lo && self.his[n] == hi {
+                    return Some(s);
+                }
+                i = (i + 1) & mask;
+            }
+        };
+        probe(&self.u_slots).or_else(|| probe(&self.u_old))
     }
 
-    fn cofactors(&self, f: u32, var: u32) -> (u32, u32) {
-        let n = self.nodes[f as usize];
-        if n.var == var {
-            (n.lo, n.hi)
+    /// Inserts a freshly allocated node index, growing (incrementally)
+    /// at 3/4 load.
+    fn unique_insert(&mut self, hash: u64, idx: u32) {
+        // `unique_misses` counts exactly the inserted entries; the old
+        // table holds a subset of them mid-rehash, never extras.
+        let len = self.stats.unique_misses as usize;
+        if len * 4 >= self.u_slots.len() * 3 {
+            self.unique_grow();
+        }
+        self.unique_migrate(UNIQUE_MIGRATE_PER_INSERT);
+        Self::slot_insert(&mut self.u_slots, hash, idx);
+    }
+
+    #[inline]
+    fn slot_insert(slots: &mut [u32], hash: u64, idx: u32) {
+        let mask = slots.len() - 1;
+        let mut i = hash as usize & mask;
+        while slots[i] != UNIQUE_EMPTY {
+            i = (i + 1) & mask;
+        }
+        slots[i] = idx;
+    }
+
+    /// Starts an incremental rehash into a table of twice the capacity.
+    /// Any rehash still in flight is flushed first.
+    fn unique_grow(&mut self) {
+        self.unique_migrate(usize::MAX);
+        self.stats.unique_rehashes += 1;
+        let cap = self.u_slots.len() * 2;
+        self.u_old = std::mem::replace(&mut self.u_slots, vec![UNIQUE_EMPTY; cap]);
+        self.u_cursor = 0;
+    }
+
+    /// Migrates up to `quota` occupied slots from the previous table.
+    fn unique_migrate(&mut self, quota: usize) {
+        if self.u_old.is_empty() {
+            return;
+        }
+        let mut moved = 0;
+        while self.u_cursor < self.u_old.len() && moved < quota {
+            let s = self.u_old[self.u_cursor];
+            self.u_cursor += 1;
+            if s == UNIQUE_EMPTY {
+                continue;
+            }
+            let n = s as usize;
+            let hash = hash_node(self.vars[n], self.los[n], self.his[n]);
+            // A lookup hit mid-rehash leaves the entry in the old table,
+            // so it cannot already be in the new one; insert directly.
+            Self::slot_insert(&mut self.u_slots, hash, s);
+            moved += 1;
+        }
+        if self.u_cursor >= self.u_old.len() {
+            self.u_old = Vec::new();
+            self.u_cursor = 0;
+        }
+    }
+
+    #[inline]
+    fn top_var(&self, e: u32) -> u32 {
+        self.vars[(e >> 1) as usize]
+    }
+
+    /// Cofactors of edge `e` w.r.t. `var`, complement bit pushed down.
+    #[inline]
+    fn cofactors(&self, e: u32, var: u32) -> (u32, u32) {
+        let i = (e >> 1) as usize;
+        if self.vars[i] == var {
+            let c = e & 1;
+            (self.los[i] ^ c, self.his[i] ^ c)
         } else {
-            (f, f)
+            (e, e)
         }
     }
 
@@ -276,41 +481,88 @@ impl Bdd {
 
     /// Budget-checked [`Bdd::ite`].
     pub fn try_ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> Result<BddRef, Exhausted> {
+        self.ite_cache_maybe_grow();
         Ok(BddRef(self.ite_rec(f.0, g.0, h.0)?))
     }
 
-    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> Result<u32, Exhausted> {
+    /// Doubles the lossy ITE cache (rehashing the surviving entries)
+    /// once the node store outgrows it, up to [`ITE_MAX_CAP`]. Called
+    /// from operation entry points, never mid-recursion.
+    fn ite_cache_maybe_grow(&mut self) {
+        let cap = self.ite_cache.len();
+        if cap >= ITE_MAX_CAP || self.vars.len() <= cap {
+            return;
+        }
+        let new_cap = (cap * 2).min(ITE_MAX_CAP);
+        let old = std::mem::replace(&mut self.ite_cache, vec![ITE_EMPTY; new_cap]);
+        let mask = new_cap - 1;
+        for e in old {
+            if e.f != ITE_INVALID {
+                let i = fnv_mix((e.f as u64) | ((e.g as u64) << 32), e.h) as usize & mask;
+                self.ite_cache[i] = e;
+            }
+        }
+    }
+
+    fn ite_rec(&mut self, f: u32, mut g: u32, mut h: u32) -> Result<u32, Exhausted> {
         // Terminal cases.
-        if f == TRUE_IDX {
+        if f == ONE {
             return Ok(g);
         }
-        if f == FALSE_IDX {
+        if f == ZERO {
             return Ok(h);
         }
         if g == h {
             return Ok(g);
         }
-        if g == TRUE_IDX && h == FALSE_IDX {
+        // Arguments equal (up to complement) to f collapse to constants.
+        if g == f {
+            g = ONE;
+        } else if g == f ^ 1 {
+            g = ZERO;
+        }
+        if h == f {
+            h = ZERO;
+        } else if h == f ^ 1 {
+            h = ONE;
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == ONE && h == ZERO {
             return Ok(f);
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        if g == ZERO && h == ONE {
+            return Ok(f ^ 1);
+        }
+        // Normalize: f uncomplemented (swap branches), then g
+        // uncomplemented (complement the result) — so each function
+        // family occupies one canonical cache line.
+        let (f, g, h) = if f & 1 == 1 { (f ^ 1, h, g) } else { (f, g, h) };
+        let out = g & 1;
+        let (g, h) = (g ^ out, h ^ out);
+
+        let slot = fnv_mix((f as u64) | ((g as u64) << 32), h) as usize & (self.ite_cache.len() - 1);
+        let e = self.ite_cache[slot];
+        if e.f == f && e.g == g && e.h == h {
             self.stats.ite_cache_hits += 1;
-            return Ok(r);
+            return Ok(e.r ^ out);
         }
         self.charge_step()?;
         self.stats.ite_cache_misses += 1;
-        let v = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let v = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
         let lo = self.ite_rec(f0, g0, h0)?;
         let hi = self.ite_rec(f1, g1, h1)?;
         let r = self.mk(v, lo, hi)?;
-        self.ite_cache.insert((f, g, h), r);
-        Ok(r)
+        let e = &mut self.ite_cache[slot];
+        if e.f != ITE_INVALID {
+            self.stats.ite_cache_evictions += 1;
+        }
+        *e = IteEntry { f, g, h, r };
+        Ok(r ^ out)
     }
 
     /// Conjunction.
@@ -320,7 +572,8 @@ impl Bdd {
 
     /// Budget-checked [`Bdd::and`].
     pub fn try_and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
-        Ok(BddRef(self.ite_rec(f.0, g.0, FALSE_IDX)?))
+        self.ite_cache_maybe_grow();
+        Ok(BddRef(self.ite_rec(f.0, g.0, ZERO)?))
     }
 
     /// Disjunction.
@@ -330,17 +583,19 @@ impl Bdd {
 
     /// Budget-checked [`Bdd::or`].
     pub fn try_or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
-        Ok(BddRef(self.ite_rec(f.0, TRUE_IDX, g.0)?))
+        self.ite_cache_maybe_grow();
+        Ok(BddRef(self.ite_rec(f.0, ONE, g.0)?))
     }
 
-    /// Negation.
+    /// Negation — with complement edges, a free bit flip.
     pub fn not(&mut self, f: BddRef) -> BddRef {
-        Self::infallible(self.try_not(f))
+        BddRef(f.0 ^ 1)
     }
 
-    /// Budget-checked [`Bdd::not`].
+    /// Budget-checked [`Bdd::not`] (infallible: negation allocates
+    /// nothing).
     pub fn try_not(&mut self, f: BddRef) -> Result<BddRef, Exhausted> {
-        Ok(BddRef(self.ite_rec(f.0, FALSE_IDX, TRUE_IDX)?))
+        Ok(BddRef(f.0 ^ 1))
     }
 
     /// Exclusive or.
@@ -350,8 +605,8 @@ impl Bdd {
 
     /// Budget-checked [`Bdd::xor`].
     pub fn try_xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
-        let ng = self.try_not(g)?;
-        Ok(BddRef(self.ite_rec(f.0, ng.0, g.0)?))
+        self.ite_cache_maybe_grow();
+        Ok(BddRef(self.ite_rec(f.0, g.0 ^ 1, g.0)?))
     }
 
     /// Exclusive nor (equivalence).
@@ -372,7 +627,8 @@ impl Bdd {
 
     /// Budget-checked [`Bdd::implies`].
     pub fn try_implies(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
-        Ok(BddRef(self.ite_rec(f.0, g.0, TRUE_IDX)?))
+        self.ite_cache_maybe_grow();
+        Ok(BddRef(self.ite_rec(f.0, g.0, ONE)?))
     }
 
     /// Difference `f ∧ ¬g`.
@@ -382,8 +638,8 @@ impl Bdd {
 
     /// Budget-checked [`Bdd::diff`].
     pub fn try_diff(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, Exhausted> {
-        let ng = self.try_not(g)?;
-        self.try_and(f, ng)
+        self.ite_cache_maybe_grow();
+        Ok(BddRef(self.ite_rec(f.0, g.0 ^ 1, ZERO)?))
     }
 
     /// Conjunction over an iterator (balanced fold to keep intermediate
@@ -453,16 +709,14 @@ impl Bdd {
     /// Panics if the assignment is shorter than the deepest variable
     /// consulted.
     pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
-        let mut idx = f.0;
+        let mut e = f.0;
         loop {
-            match idx {
-                FALSE_IDX => return false,
-                TRUE_IDX => return true,
-                _ => {
-                    let n = self.nodes[idx as usize];
-                    idx = if assignment[n.var as usize] { n.hi } else { n.lo };
-                }
+            let i = (e >> 1) as usize;
+            if i == 0 {
+                return e == ONE;
             }
+            let next = if assignment[self.vars[i] as usize] { self.his[i] } else { self.los[i] };
+            e = next ^ (e & 1);
         }
     }
 
@@ -471,68 +725,62 @@ impl Bdd {
     /// Exact up to `f64` precision; valid for up to ~1000 variables
     /// (2¹⁰⁰⁰ < `f64::MAX`).
     pub fn sat_count(&self, f: BddRef) -> f64 {
-        let mut memo: HashMap<u32, f64> = HashMap::new();
-        self.sat_count_rec(f.0, &mut memo) * (self.var_gap(f.0) as f64).exp2()
+        self.sat_fraction(f) * (self.num_vars as f64).exp2()
     }
 
     /// Satisfying-assignment *fraction* of the full space — numerically
     /// robust beyond 1000 variables.
+    ///
+    /// With complement edges this is the natural recursion: the
+    /// fraction of a node is the mean of its children's fractions, and
+    /// a complemented edge contributes `1 − p`. All intermediate values
+    /// are dyadic, so counts stay exact as long as they fit a `f64`.
     pub fn sat_fraction(&self, f: BddRef) -> f64 {
-        self.sat_count(f) / (self.num_vars as f64).exp2()
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.fraction_rec(f.0, &mut memo)
     }
 
-    fn var_gap(&self, f: u32) -> u32 {
-        // Variables above the root are unconstrained.
-        if f == FALSE_IDX {
-            0
-        } else if f == TRUE_IDX {
-            self.num_vars
+    /// The satisfying fraction of edge `e`; `memo` caches per node
+    /// index (the uncomplemented edge's fraction).
+    fn fraction_rec(&self, e: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+        let i = e >> 1;
+        let p = if i == 0 {
+            1.0
+        } else if let Some(&p) = memo.get(&i) {
+            p
         } else {
-            self.top_var(f)
+            let n = i as usize;
+            let p = 0.5 * (self.fraction_rec(self.los[n], memo) + self.fraction_rec(self.his[n], memo));
+            memo.insert(i, p);
+            p
+        };
+        if e & 1 == 1 {
+            1.0 - p
+        } else {
+            p
         }
-    }
-
-    fn sat_count_rec(&self, f: u32, memo: &mut HashMap<u32, f64>) -> f64 {
-        if f == FALSE_IDX {
-            return 0.0;
-        }
-        if f == TRUE_IDX {
-            return 1.0;
-        }
-        if let Some(&c) = memo.get(&f) {
-            return c;
-        }
-        let n = self.nodes[f as usize];
-        let lo_gap = self.level_gap(n.var, n.lo);
-        let hi_gap = self.level_gap(n.var, n.hi);
-        let c = self.sat_count_rec(n.lo, memo) * (lo_gap as f64).exp2()
-            + self.sat_count_rec(n.hi, memo) * (hi_gap as f64).exp2();
-        memo.insert(f, c);
-        c
-    }
-
-    fn level_gap(&self, parent_var: u32, child: u32) -> u32 {
-        let child_var = if child <= TRUE_IDX { self.num_vars } else { self.top_var(child) };
-        child_var - parent_var - 1
     }
 
     /// One satisfying assignment, or `None` for the zero function. Free
     /// variables are returned as `false`.
     pub fn pick_sat(&self, f: BddRef) -> Option<Vec<bool>> {
-        if f.0 == FALSE_IDX {
+        if f.0 == ZERO {
             return None;
         }
         let mut assignment = vec![false; self.num_vars as usize];
-        let mut idx = f.0;
-        while idx > TRUE_IDX {
-            let n = self.nodes[idx as usize];
-            if n.lo != FALSE_IDX {
-                idx = n.lo;
+        let mut e = f.0;
+        while e >> 1 != 0 {
+            let i = (e >> 1) as usize;
+            let c = e & 1;
+            let lo = self.los[i] ^ c;
+            if lo != ZERO {
+                e = lo;
             } else {
-                assignment[n.var as usize] = true;
-                idx = n.hi;
+                assignment[self.vars[i] as usize] = true;
+                e = self.his[i] ^ c;
             }
         }
+        debug_assert_eq!(e, ONE, "a non-zero function must reach ⊤");
         Some(assignment)
     }
 
@@ -540,7 +788,7 @@ impl Bdd {
     ///
     /// `unit_random` must return values in `[0, 1)`; each call consumes
     /// a few of them. Returns `None` for the zero function. Sampling is
-    /// weighted by exact satisfy-counts, so it is uniform up to `f64`
+    /// weighted by exact satisfy-fractions, so it is uniform up to `f64`
     /// rounding.
     ///
     /// # Examples
@@ -562,32 +810,33 @@ impl Bdd {
     /// assert!(b.eval(f, &sample));
     /// ```
     pub fn sample_sat(&self, f: BddRef, mut unit_random: impl FnMut() -> f64) -> Option<Vec<bool>> {
-        if f.0 == FALSE_IDX {
+        if f.0 == ZERO {
             return None;
         }
         let mut memo: HashMap<u32, f64> = HashMap::new();
         let mut assignment = vec![false; self.num_vars as usize];
         // Free variables above the root.
         let mut next_var = 0u32;
-        let mut idx = f.0;
+        let mut e = f.0;
         loop {
-            let node_var = if idx <= TRUE_IDX { self.num_vars } else { self.top_var(idx) };
+            let i = (e >> 1) as usize;
+            let node_var = if i == 0 { self.num_vars } else { self.vars[i] };
             while next_var < node_var {
                 assignment[next_var as usize] = unit_random() < 0.5;
                 next_var += 1;
             }
-            if idx <= TRUE_IDX {
+            if i == 0 {
                 break;
             }
-            let n = self.nodes[idx as usize];
-            let lo_weight =
-                self.sat_count_rec(n.lo, &mut memo) * (self.level_gap(n.var, n.lo) as f64).exp2();
-            let hi_weight =
-                self.sat_count_rec(n.hi, &mut memo) * (self.level_gap(n.var, n.hi) as f64).exp2();
+            let c = e & 1;
+            let lo = self.los[i] ^ c;
+            let hi = self.his[i] ^ c;
+            let lo_weight = self.fraction_rec(lo, &mut memo);
+            let hi_weight = self.fraction_rec(hi, &mut memo);
             let take_hi = unit_random() * (lo_weight + hi_weight) >= lo_weight;
-            assignment[n.var as usize] = take_hi;
-            idx = if take_hi { n.hi } else { n.lo };
-            next_var = n.var + 1;
+            assignment[self.vars[i] as usize] = take_hi;
+            e = if take_hi { hi } else { lo };
+            next_var = node_var + 1;
         }
         Some(assignment)
     }
@@ -623,40 +872,59 @@ impl Bdd {
     /// Budget-checked [`Bdd::exists`].
     pub fn try_exists(&mut self, f: BddRef, vars: &[usize]) -> Result<BddRef, Exhausted> {
         assert!(vars.len() <= 64, "quantify at most 64 variables per call");
-        let mut sorted: Vec<usize> = vars.to_vec();
+        let mut sorted: Vec<u32> = vars.iter().map(|&v| v as u32).collect();
         sorted.sort_unstable();
         sorted.dedup();
         for &v in &sorted {
-            assert!((v as u32) < self.num_vars, "variable {v} out of range");
+            assert!(v < self.num_vars, "variable {v} out of range");
         }
-        self.quant_cache.clear();
-        Ok(BddRef(self.exists_rec(f.0, &sorted)?))
+        self.ite_cache_maybe_grow();
+        // Invalidate the quantifier cache wholesale: its keys are only
+        // meaningful relative to one sorted variable set.
+        self.quant_gen = self.quant_gen.wrapping_add(1);
+        Ok(BddRef(self.exists_rec(f.0, &sorted, 0)?))
     }
 
-    fn exists_rec(&mut self, f: u32, vars: &[usize]) -> Result<u32, Exhausted> {
-        if f <= TRUE_IDX || vars.is_empty() {
-            return Ok(f);
+    /// Quantifier recursion. `from` indexes into the sorted `vars`
+    /// suffix still to be quantified — because variables are visited in
+    /// order, the remaining set is always a suffix, so the cache key is
+    /// the packed `(edge, suffix start)` pair.
+    fn exists_rec(&mut self, e: u32, vars: &[u32], mut from: usize) -> Result<u32, Exhausted> {
+        if e >> 1 == 0 {
+            return Ok(e);
         }
-        let key = (f, vars.iter().fold(0u64, |acc, &v| acc.rotate_left(7) ^ v as u64));
-        if let Some(&r) = self.quant_cache.get(&key) {
-            return Ok(r);
+        let i = (e >> 1) as usize;
+        let var = self.vars[i];
+        // Quantified variables above the root are vacuous.
+        while from < vars.len() && vars[from] < var {
+            from += 1;
+        }
+        if from == vars.len() {
+            return Ok(e);
+        }
+        debug_assert!(from < 1 << 32, "suffix index fits the packed key");
+        let key = (e as u64) | ((from as u64) << 32);
+        let slot = fnv_mix(key, 0x9E) as usize & (self.quant_cache.len() - 1);
+        let q = self.quant_cache[slot];
+        if q.key == key && q.gen == self.quant_gen {
+            self.stats.quant_cache_hits += 1;
+            return Ok(q.r);
         }
         self.charge_step()?;
-        let n = self.nodes[f as usize];
-        // Skip quantified variables above the root.
-        let remaining: Vec<usize> =
-            vars.iter().copied().filter(|&v| v as u32 >= n.var).collect();
-        let r = if remaining.first() == Some(&(n.var as usize)) {
-            let rest = &remaining[1..];
-            let lo = self.exists_rec(n.lo, rest)?;
-            let hi = self.exists_rec(n.hi, rest)?;
-            self.ite_rec(lo, TRUE_IDX, hi)?
+        self.stats.quant_cache_misses += 1;
+        let c = e & 1;
+        let lo = self.los[i] ^ c;
+        let hi = self.his[i] ^ c;
+        let r = if vars[from] == var {
+            let l = self.exists_rec(lo, vars, from + 1)?;
+            let h = self.exists_rec(hi, vars, from + 1)?;
+            self.ite_rec(l, ONE, h)?
         } else {
-            let lo = self.exists_rec(n.lo, &remaining)?;
-            let hi = self.exists_rec(n.hi, &remaining)?;
-            self.mk(n.var, lo, hi)?
+            let l = self.exists_rec(lo, vars, from)?;
+            let h = self.exists_rec(hi, vars, from)?;
+            self.mk(var, l, h)?
         };
-        self.quant_cache.insert(key, r);
+        self.quant_cache[slot] = QuantEntry { key, gen: self.quant_gen, r };
         Ok(r)
     }
 
@@ -664,32 +932,35 @@ impl Bdd {
     pub fn support(&self, f: BddRef) -> Vec<usize> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
-        let mut stack = vec![f.0];
-        while let Some(idx) = stack.pop() {
-            if idx <= TRUE_IDX || !seen.insert(idx) {
+        let mut stack = vec![f.0 >> 1];
+        while let Some(i) = stack.pop() {
+            if i == 0 || !seen.insert(i) {
                 continue;
             }
-            let n = self.nodes[idx as usize];
-            vars.insert(n.var as usize);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            let n = i as usize;
+            vars.insert(self.vars[n] as usize);
+            stack.push(self.los[n] >> 1);
+            stack.push(self.his[n] >> 1);
         }
         vars.into_iter().collect()
     }
 
-    /// Number of BDD nodes reachable from `f` (its size).
+    /// Number of BDD nodes reachable from `f` (its size): the count of
+    /// distinct non-constant subfunctions, i.e. the node count of the
+    /// function's plain (complement-free) reduced graph.
     pub fn size(&self, f: BddRef) -> usize {
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![f.0];
         let mut count = 0;
-        while let Some(idx) = stack.pop() {
-            if idx <= TRUE_IDX || !seen.insert(idx) {
+        while let Some(e) = stack.pop() {
+            if e >> 1 == 0 || !seen.insert(e) {
                 continue;
             }
             count += 1;
-            let n = self.nodes[idx as usize];
-            stack.push(n.lo);
-            stack.push(n.hi);
+            let i = (e >> 1) as usize;
+            let c = e & 1;
+            stack.push(self.los[i] ^ c);
+            stack.push(self.his[i] ^ c);
         }
         count
     }
@@ -714,8 +985,8 @@ impl Bdd {
     /// workloads to bound memory.
     pub fn clear_op_caches(&mut self) {
         self.stats.op_cache_clears += 1;
-        self.ite_cache.clear();
-        self.quant_cache.clear();
+        self.ite_cache.fill(ITE_EMPTY);
+        self.quant_gen = self.quant_gen.wrapping_add(1);
     }
 
     /// This manager's lifetime operation counts.
@@ -725,32 +996,74 @@ impl Bdd {
 
     /// Occupancy of the unique table (reduced, non-terminal nodes).
     pub fn unique_entries(&self) -> usize {
-        self.unique.len()
+        self.stats.unique_misses as usize
+    }
+
+    /// Checks the structural invariants of the node store and unique
+    /// table; returns a description of the first violation. Intended
+    /// for tests and debugging — cost is linear in the store.
+    ///
+    /// Invariants: the low edge of every stored node is uncomplemented
+    /// (canonical polarity), no node is redundant (`lo == hi`) or
+    /// duplicated, variable order is strict along both edges, children
+    /// precede parents, and every node is findable in the unique table.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for i in 1..self.vars.len() {
+            let (v, lo, hi) = (self.vars[i], self.los[i], self.his[i]);
+            if lo & 1 != 0 {
+                return Err(format!("node {i}: complemented low edge"));
+            }
+            if v >= self.num_vars {
+                return Err(format!("node {i}: variable {v} out of range"));
+            }
+            if lo == hi {
+                return Err(format!("node {i}: redundant (lo == hi)"));
+            }
+            for (label, child) in [("lo", lo), ("hi", hi)] {
+                let ci = (child >> 1) as usize;
+                if ci >= i {
+                    return Err(format!("node {i}: {label} child {ci} does not precede it"));
+                }
+                if ci != 0 && self.vars[ci] <= v {
+                    return Err(format!("node {i}: {label} child violates variable order"));
+                }
+            }
+            if !seen.insert((v, lo, hi)) {
+                return Err(format!("node {i}: duplicate (var, lo, hi) triple"));
+            }
+            if self.unique_find(hash_node(v, lo, hi), v, lo, hi) != Some(i as u32) {
+                return Err(format!("node {i}: not findable in the unique table"));
+            }
+        }
+        Ok(())
     }
 
     /// Publishes this manager's counts to `tm-telemetry` under the
-    /// `logic.bdd.*` names: counters get the delta since the previous
+    /// `bdd.*` names: counters get the delta since the previous
     /// publish (safe to call repeatedly from nested instrumentation),
     /// gauges get the current node and unique-table occupancy.
     pub fn publish_metrics(&mut self) {
         if !tm_telemetry::enabled() {
             return;
         }
-        let d = BddStats {
-            unique_hits: self.stats.unique_hits - self.published.unique_hits,
-            unique_misses: self.stats.unique_misses - self.published.unique_misses,
-            ite_cache_hits: self.stats.ite_cache_hits - self.published.ite_cache_hits,
-            ite_cache_misses: self.stats.ite_cache_misses - self.published.ite_cache_misses,
-            op_cache_clears: self.stats.op_cache_clears - self.published.op_cache_clears,
-        };
-        self.published = self.stats;
-        tm_telemetry::counter_add("logic.bdd.unique_hit", d.unique_hits);
-        tm_telemetry::counter_add("logic.bdd.unique_miss", d.unique_misses);
-        tm_telemetry::counter_add("logic.bdd.ite_cache_hit", d.ite_cache_hits);
-        tm_telemetry::counter_add("logic.bdd.ite_cache_miss", d.ite_cache_misses);
-        tm_telemetry::counter_add("logic.bdd.op_cache_clears", d.op_cache_clears);
-        tm_telemetry::gauge_set("logic.bdd.nodes", self.nodes.len() as f64);
-        tm_telemetry::gauge_set("logic.bdd.unique_entries", self.unique.len() as f64);
+        let s = self.stats;
+        let p = self.published;
+        self.published = s;
+        tm_telemetry::counter_add("bdd.unique.hits", s.unique_hits - p.unique_hits);
+        tm_telemetry::counter_add("bdd.unique.misses", s.unique_misses - p.unique_misses);
+        tm_telemetry::counter_add("bdd.unique.rehashes", s.unique_rehashes - p.unique_rehashes);
+        tm_telemetry::counter_add("bdd.cache.hits", s.ite_cache_hits - p.ite_cache_hits);
+        tm_telemetry::counter_add("bdd.cache.misses", s.ite_cache_misses - p.ite_cache_misses);
+        tm_telemetry::counter_add(
+            "bdd.cache.evictions",
+            s.ite_cache_evictions - p.ite_cache_evictions,
+        );
+        tm_telemetry::counter_add("bdd.cache.clears", s.op_cache_clears - p.op_cache_clears);
+        tm_telemetry::counter_add("bdd.quant.hits", s.quant_cache_hits - p.quant_cache_hits);
+        tm_telemetry::counter_add("bdd.quant.misses", s.quant_cache_misses - p.quant_cache_misses);
+        tm_telemetry::gauge_set("bdd.nodes", self.vars.len() as f64);
+        tm_telemetry::gauge_set("bdd.unique.entries", self.unique_entries() as f64);
     }
 
     /// Exports `f` as a manager-independent [`PortableBdd`].
@@ -758,32 +1071,37 @@ impl Bdd {
     /// The node list is in deterministic *structural* order: a
     /// depth-first walk from the root that finishes the `lo` subgraph
     /// before the `hi` subgraph and emits each node once, children
-    /// first. The order depends only on the function's reduced graph —
-    /// never on this manager's node indices or allocation history — so
-    /// two managers holding equal functions export byte-identical
-    /// `PortableBdd`s. That is the property the parallel SPCF driver's
-    /// determinism rests on: importing the same exports in the same
-    /// order replays the same `mk` sequence in the target manager
-    /// regardless of which worker produced them.
+    /// first. Complement edges are resolved during the walk — each
+    /// reachable `(node, parity)` pair is one distinct subfunction and
+    /// exports as one plain entry — so the encoding depends only on the
+    /// function's reduced graph, never on this manager's node indices,
+    /// allocation history, or complement-edge placement. Two managers
+    /// holding equal functions export byte-identical `PortableBdd`s.
+    /// That is the property the parallel SPCF driver's determinism
+    /// rests on: importing the same exports in the same order replays
+    /// the same `mk` sequence in the target manager regardless of which
+    /// worker produced them.
     pub fn export(&self, f: BddRef) -> PortableBdd {
         let mut ids: HashMap<u32, u32> = HashMap::new();
-        ids.insert(FALSE_IDX, 0);
-        ids.insert(TRUE_IDX, 1);
+        ids.insert(ZERO, 0);
+        ids.insert(ONE, 1);
         let mut entries: Vec<(u32, u32, u32)> = Vec::new();
         let mut stack = vec![(f.0, false)];
-        while let Some((idx, expanded)) = stack.pop() {
-            if ids.contains_key(&idx) {
+        while let Some((e, expanded)) = stack.pop() {
+            if ids.contains_key(&e) {
                 continue;
             }
-            let n = self.nodes[idx as usize];
+            let i = (e >> 1) as usize;
+            let c = e & 1;
+            let lo = self.los[i] ^ c;
+            let hi = self.his[i] ^ c;
             if expanded {
-                let (lo, hi) = (ids[&n.lo], ids[&n.hi]);
-                entries.push((n.var, lo, hi));
-                ids.insert(idx, entries.len() as u32 + 1);
+                entries.push((self.vars[i], ids[&lo], ids[&hi]));
+                ids.insert(e, entries.len() as u32 + 1);
             } else {
-                stack.push((idx, true));
-                stack.push((n.hi, false));
-                stack.push((n.lo, false)); // popped first: lo finishes first
+                stack.push((e, true));
+                stack.push((hi, false));
+                stack.push((lo, false)); // popped first: lo finishes first
             }
         }
         PortableBdd { num_vars: self.num_vars, entries, root: ids[&f.0] }
@@ -809,11 +1127,11 @@ impl Bdd {
             "import requires matching variable spaces"
         );
         let mut ids: Vec<u32> = Vec::with_capacity(portable.entries.len() + 2);
-        ids.push(FALSE_IDX);
-        ids.push(TRUE_IDX);
+        ids.push(ZERO);
+        ids.push(ONE);
         for &(var, lo, hi) in &portable.entries {
-            let node = self.mk(var, ids[lo as usize], ids[hi as usize])?;
-            ids.push(node);
+            let edge = self.mk(var, ids[lo as usize], ids[hi as usize])?;
+            ids.push(edge);
         }
         Ok(BddRef(ids[portable.root as usize]))
     }
@@ -824,9 +1142,12 @@ impl Bdd {
 ///
 /// Entry `i` holds `(var, lo, hi)` where `lo`/`hi` are `0` (false),
 /// `1` (true), or `j + 2` referring to entry `j < i` — children always
-/// precede parents. Equal functions export equal values (see
-/// [`Bdd::export`] for the ordering guarantee), which makes this the
-/// unit of cross-thread BDD transfer in the parallel SPCF driver.
+/// precede parents. The encoding is the function's *plain*
+/// (complement-free) reduced graph, so it is independent of the
+/// exporting manager's complement-edge placement. Equal functions
+/// export equal values (see [`Bdd::export`] for the ordering
+/// guarantee), which makes this the unit of cross-thread BDD transfer
+/// in the parallel SPCF driver.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PortableBdd {
     num_vars: u32,
@@ -843,6 +1164,17 @@ impl PortableBdd {
     /// Number of internal nodes in the encoding (the function's size).
     pub fn node_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The `(var, lo, hi)` entries, children before parents (see the
+    /// type docs for the reference encoding).
+    pub fn entries(&self) -> &[(u32, u32, u32)] {
+        &self.entries
+    }
+
+    /// The root reference: `0` (false), `1` (true), or entry `root - 2`.
+    pub fn root(&self) -> u32 {
+        self.root
     }
 }
 
@@ -862,6 +1194,23 @@ mod tests {
         assert_eq!(both, b.zero());
         let either = b.or(x, nx);
         assert_eq!(either, b.one());
+    }
+
+    #[test]
+    fn negation_is_free_and_involutive() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        let nodes = b.node_count();
+        let steps = b.steps_taken();
+        let nf = b.not(f);
+        assert_eq!(b.node_count(), nodes, "complement edges: negation allocates nothing");
+        assert_eq!(b.steps_taken(), steps, "negation takes no recursion steps");
+        assert_ne!(nf, f);
+        let back = b.not(nf);
+        assert_eq!(back, f);
+        assert_eq!(b.not(b.one()), b.zero());
     }
 
     #[test]
@@ -960,7 +1309,7 @@ mod tests {
         let x4 = b.var(4);
         let f = b.xor(x1, x4);
         assert_eq!(b.support(f), vec![1, 4]);
-        assert_eq!(b.size(f), 3); // xor of 2 vars: 3 internal nodes
+        assert_eq!(b.size(f), 3); // xor of 2 vars: 3 distinct subfunctions
         assert_eq!(b.support(b.one()), Vec::<usize>::new());
     }
 
@@ -1022,6 +1371,75 @@ mod tests {
     }
 
     #[test]
+    fn invariants_hold_after_mixed_workload() {
+        let mut b = Bdd::new(10);
+        let lits: Vec<BddRef> = (0..10).map(|i| b.literal(i, i % 2 == 0)).collect();
+        let mut f = b.zero();
+        for w in lits.windows(3) {
+            let t = b.and(w[0], w[1]);
+            let u = b.xor(t, w[2]);
+            f = b.or(f, u);
+        }
+        let _ = b.exists(f, &[0, 3, 7]);
+        let _ = b.restrict(f, 5, true);
+        b.check_invariants().expect("canonical store");
+    }
+
+    #[test]
+    fn unique_table_grows_through_incremental_rehash() {
+        // Allocate well past several growth thresholds and verify every
+        // node stays findable (lookups probe both tables mid-rehash).
+        let build = |b: &mut Bdd| {
+            let mut acc = b.zero();
+            for m in 0..400u64 {
+                let bits = m.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let lits: Vec<(usize, bool)> =
+                    (0..16).map(|v| (v, (bits >> v) & 1 == 1)).collect();
+                let c = b.cube(&lits);
+                acc = b.xor(acc, c);
+            }
+            acc
+        };
+        let mut b = Bdd::new(16);
+        let f = build(&mut b);
+        let nodes = b.node_count();
+        let g = build(&mut b);
+        assert_eq!(f, g, "rebuilt function must hit the unique table, not reallocate");
+        assert_eq!(b.node_count(), nodes, "second build allocates nothing");
+        assert!(b.stats().unique_rehashes >= 1, "the workload must outgrow the initial table");
+        b.check_invariants().expect("canonical store after rehashes");
+    }
+
+    #[test]
+    fn lossy_cache_changes_stats_never_results() {
+        // A 2-entry ITE cache thrashes constantly; results must match a
+        // default manager's exactly (compared via structural exports).
+        let mut tiny = Bdd::with_cache_capacity(12, 2);
+        let mut full = Bdd::new(12);
+        let build = |b: &mut Bdd| {
+            let lits: Vec<BddRef> = (0..12).map(|i| b.var(i)).collect();
+            let mut acc = b.zero();
+            for w in lits.windows(4) {
+                let t = b.and(w[0], w[1]);
+                let u = b.xor(w[2], w[3]);
+                let v = b.or(t, u);
+                acc = b.xor(acc, v);
+            }
+            acc
+        };
+        let f_tiny = build(&mut tiny);
+        let f_full = build(&mut full);
+        assert_eq!(tiny.export(f_tiny), full.export(f_full));
+        assert!(
+            tiny.stats().ite_cache_evictions > full.stats().ite_cache_evictions,
+            "the 2-entry cache must evict far more: {:?} vs {:?}",
+            tiny.stats(),
+            full.stats()
+        );
+        tiny.check_invariants().expect("evictions never corrupt the store");
+    }
+
+    #[test]
     fn stats_count_cache_traffic_and_publish_deltas() {
         let _scope = tm_telemetry::Scope::enter();
         let mut b = Bdd::new(6);
@@ -1033,17 +1451,17 @@ mod tests {
         let s = b.stats();
         assert!(s.ite_cache_hits >= 1, "repeated op must hit the cache: {s:?}");
         assert!(s.unique_misses >= 3, "x0, x1, and f each allocate: {s:?}");
-        assert_eq!(s.unique_misses as usize + 2, b.node_count(), "misses + terminals = nodes");
+        assert_eq!(s.unique_misses as usize + 1, b.node_count(), "misses + terminal = nodes");
 
         b.publish_metrics();
         let snap = tm_telemetry::snapshot();
-        assert_eq!(snap.counter("logic.bdd.ite_cache_hit"), Some(s.ite_cache_hits));
-        assert_eq!(snap.gauge("logic.bdd.nodes"), Some(b.node_count() as f64));
+        assert_eq!(snap.counter("bdd.cache.hits"), Some(s.ite_cache_hits));
+        assert_eq!(snap.gauge("bdd.nodes"), Some(b.node_count() as f64));
 
         // A second publish with no new work must add nothing.
         b.publish_metrics();
         let snap = tm_telemetry::snapshot();
-        assert_eq!(snap.counter("logic.bdd.ite_cache_hit"), Some(s.ite_cache_hits));
+        assert_eq!(snap.counter("bdd.cache.hits"), Some(s.ite_cache_hits));
     }
 
     #[test]
@@ -1156,6 +1574,28 @@ mod tests {
             b.or(x5, u)
         };
         assert_eq!(a.export(f), b.export(g));
+    }
+
+    #[test]
+    fn export_resolves_complement_parity() {
+        // f and ¬f share every node in the store but export as distinct
+        // plain graphs; both round-trip.
+        let mut a = Bdd::new(4);
+        let x0 = a.var(0);
+        let x1 = a.var(1);
+        let x3 = a.var(3);
+        let t = a.xor(x0, x1);
+        let f = a.or(t, x3);
+        let nf = a.not(f);
+        let (pf, pnf) = (a.export(f), a.export(nf));
+        assert_ne!(pf, pnf);
+        let mut b = Bdd::new(4);
+        let (gf, gnf) = (b.import(&pf), b.import(&pnf));
+        assert_eq!(b.not(gf), gnf);
+        for m in 0..16u64 {
+            let asn: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(a.eval(f, &asn), b.eval(gf, &asn), "m={m}");
+        }
     }
 
     #[test]

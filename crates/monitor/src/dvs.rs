@@ -11,10 +11,12 @@
 //! timing-accurate simulator at each point, and reports the lowest safe
 //! voltage with and without masking plus the resulting energy saving.
 
+use tm_logic::Bdd;
 use tm_masking::{inject_and_measure, MaskedDesign};
-use tm_netlist::Delay;
-use tm_resilience::{Context, TmError, TmResult};
+use tm_netlist::{Delay, Netlist};
+use tm_resilience::{Budget, Context, TmError, TmResult};
 use tm_sim::timing::TimingSim;
+use tm_spcf::{Algorithm, WarmSession};
 use tm_sta::Sta;
 
 /// A first-order alpha-power-law delay/energy model for supply scaling.
@@ -188,6 +190,111 @@ impl DvsExplorer {
     }
 }
 
+/// One analytically characterized point of a DVS sweep: instead of
+/// replaying a workload, the point is described by the short-path SPCF
+/// at the *effective* target `Δ_eff = clock / delay_factor` — under a
+/// uniform supply-induced slowdown, a pattern mis-samples exactly when
+/// its nominal stabilization delay exceeds `Δ_eff`.
+#[derive(Clone, Copy, Debug)]
+pub struct DvsAnalyticPoint {
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Gate-delay multiplier at this supply.
+    pub delay_factor: f64,
+    /// Dynamic-energy multiplier at this supply.
+    pub energy_factor: f64,
+    /// The clock expressed in nominal-delay units (`clock /
+    /// delay_factor`): the arrival-time budget a pattern must meet at
+    /// this supply.
+    pub effective_target: Delay,
+    /// Outputs whose worst arrival exceeds the effective target.
+    pub critical_outputs: usize,
+    /// Fraction of the input space whose stabilization delay exceeds
+    /// the effective target (union SPCF over all critical outputs);
+    /// `0.0` means every pattern meets the clock at this supply.
+    pub error_pattern_fraction: f64,
+}
+
+/// Result of an analytic (simulation-free) DVS exploration.
+#[derive(Clone, Debug)]
+pub struct DvsAnalyticSweep {
+    /// Characterized points, highest supply first.
+    pub points: Vec<DvsAnalyticPoint>,
+    /// Lowest supply whose whole input space still meets the clock
+    /// (contiguous from nominal) — the guaranteed-safe limit without
+    /// masking, over *all* patterns rather than a sampled workload.
+    pub min_safe_unmasked: Option<f64>,
+}
+
+impl DvsExplorer {
+    /// Characterizes the sweep analytically with a **warm SPCF
+    /// session**: one BDD manager and one short-path memo serve every
+    /// supply point. Lower supplies mean larger delay factors and thus
+    /// a *descending* ladder of effective targets, so each point only
+    /// extends the memoized stabilization queries of the previous one
+    /// (`Σ_y(Δ') ⊆ Σ_y(Δ)` for `Δ' ≥ Δ`).
+    ///
+    /// The result is workload-independent and conservative: a supply is
+    /// reported safe only when *no* input pattern can miss the clock,
+    /// whereas [`DvsExplorer::sweep`] can only observe the vectors it
+    /// replays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmError`] when the sweep range is degenerate (same
+    /// conditions as [`DvsExplorer::sweep`]).
+    pub fn analytic_sweep(&self, netlist: &Netlist) -> TmResult<DvsAnalyticSweep> {
+        if !(self.v_min < self.model.v_nominal) {
+            return Err(TmError::invalid_input("sweep range is empty"));
+        }
+        if self.v_min <= self.model.v_threshold {
+            return Err(TmError::invalid_input(format!(
+                "v_min {} must exceed the threshold voltage {}",
+                self.v_min, self.model.v_threshold
+            )));
+        }
+        if !(self.v_step > 0.0) || !self.v_step.is_finite() {
+            return Err(TmError::invalid_input(format!(
+                "v_step must be finite and positive, got {}",
+                self.v_step
+            )));
+        }
+        let sta = Sta::new(netlist);
+        let clock = self.clock.unwrap_or_else(|| sta.critical_path_delay());
+
+        let mut bdd = Bdd::new(netlist.inputs().len().max(1));
+        let mut session =
+            WarmSession::new(Algorithm::ShortPath, netlist, &sta, &mut bdd, Budget::unlimited());
+        let mut points = Vec::new();
+        let mut vdd = self.model.v_nominal;
+        while vdd >= self.v_min - 1e-12 {
+            let factor = self.model.delay_factor(vdd);
+            let effective_target = clock * (1.0 / factor);
+            let spcf = session.retarget(effective_target);
+            let union = spcf.union(session.bdd_mut());
+            points.push(DvsAnalyticPoint {
+                vdd,
+                delay_factor: factor,
+                energy_factor: self.model.energy_factor(vdd),
+                effective_target,
+                critical_outputs: spcf.outputs.len(),
+                error_pattern_fraction: session.bdd().sat_fraction(union),
+            });
+            vdd -= self.v_step;
+        }
+
+        let mut min_safe_unmasked = None;
+        for p in &points {
+            if p.error_pattern_fraction == 0.0 {
+                min_safe_unmasked = Some(p.vdd);
+            } else {
+                break;
+            }
+        }
+        Ok(DvsAnalyticSweep { points, min_safe_unmasked })
+    }
+}
+
 /// Evaluates an *unmasked* netlist at one supply (for baselines).
 pub fn unmasked_errors_at(
     netlist: &tm_netlist::Netlist,
@@ -249,5 +356,31 @@ mod tests {
     #[should_panic(expected = "exceed threshold")]
     fn below_threshold_rejected() {
         VoltageModel::default().delay_factor(0.2);
+    }
+
+    #[test]
+    fn analytic_sweep_is_monotone_and_conservative() {
+        let nl = comparator2(Arc::new(lsi10k_like()));
+        let explorer = DvsExplorer { v_min: 0.80, v_step: 0.02, ..Default::default() };
+        let analytic = explorer.analytic_sweep(&nl).expect("valid sweep");
+        // Nominal supply meets the clock for every pattern.
+        assert_eq!(analytic.points[0].error_pattern_fraction, 0.0);
+        // Lower supply ⇒ smaller effective target ⇒ the error-pattern
+        // set only grows (Σ_y monotonicity through the warm session).
+        for w in analytic.points.windows(2) {
+            assert!(w[1].error_pattern_fraction >= w[0].error_pattern_fraction);
+            assert!(w[1].effective_target < w[0].effective_target);
+        }
+        // The analytic limit covers all patterns, so it is at least as
+        // cautious as the sampled-workload simulation.
+        let design = synthesize(&nl, MaskingOptions::default()).design;
+        let vectors = random_vectors(4, 300, 4242);
+        let simulated = explorer.sweep(&design, &vectors).expect("valid sweep");
+        let sim_safe = simulated.min_safe_unmasked.expect("nominal must be safe");
+        let ana_safe = analytic.min_safe_unmasked.expect("nominal must be safe");
+        assert!(
+            ana_safe >= sim_safe - 1e-12,
+            "analytic limit {ana_safe} must not be below the sampled limit {sim_safe}"
+        );
     }
 }

@@ -59,7 +59,9 @@ pub mod trace;
 pub mod wearout;
 
 pub use bias::{unadapted_run, AdaptiveBiasController, BiasEpoch, BiasRun};
-pub use dvs::{DvsExplorer, DvsPoint, DvsSweep, VoltageModel};
+pub use dvs::{
+    DvsAnalyticPoint, DvsAnalyticSweep, DvsExplorer, DvsPoint, DvsSweep, VoltageModel,
+};
 pub use razor::{RazorModel, RazorOutcome};
 pub use telescopic::{evaluate_telescopic, TelescopicOutcome};
 pub use trace::{CapturePolicy, DebugSession, SessionResult, TraceBuffer, TraceEntry};

@@ -112,16 +112,37 @@ impl SpcfSet {
     }
 }
 
-/// Cache of on-set/off-set prime implicants per library cell.
+/// Cache of on-set/off-set prime implicants per gate *function*.
 ///
 /// Eqn. 1 needs "the set of all prime implicants in the on-set and
-/// off-set of f" for every gate; cells repeat, so compute them once.
+/// off-set of f" for every gate; functions repeat, so compute them
+/// once. Entries are keyed by a packed-u64 function key (arity tag +
+/// raw truth-table bits, injective for the ≤5-input functions library
+/// cells have), so structurally identical functions share one entry
+/// even across distinct cells or remapped duplicate-fanin gates.
 /// Entries are `Arc`-shared: lookups hand out cheap handles instead of
 /// forcing cube-vector clones, and a prewarmed cache can be cloned into
 /// parallel SPCF workers without recomputing a single prime.
 #[derive(Clone, Debug, Default)]
 pub struct GatePrimes {
-    cache: HashMap<CellId, Arc<(Vec<Cube>, Vec<Cube>)>>,
+    cache: HashMap<u64, Arc<(Vec<Cube>, Vec<Cube>)>>,
+}
+
+/// Packs a ≤5-input function into an injective u64 cache key: the
+/// arity in the top bits, the `2^arity` truth-table bits below. Wider
+/// functions (none in the shipped libraries) are not packable and
+/// bypass the cache.
+fn function_key(tt: &TruthTable) -> Option<u64> {
+    let n = tt.num_vars();
+    if n > 5 {
+        return None;
+    }
+    let mut bits = 0u64;
+    for m in 0..(1u64 << n) {
+        bits |= u64::from(tt.eval(m)) << m;
+    }
+    debug_assert!(bits < 1u64 << (1u64 << n), "table bits exceed the packed arity range");
+    Some(((n as u64) << 59) | bits)
 }
 
 impl GatePrimes {
@@ -130,11 +151,20 @@ impl GatePrimes {
         Self::default()
     }
 
+    /// `(on_primes, off_primes)` of an arbitrary small function,
+    /// cached under its packed key.
+    pub fn of_function(&mut self, tt: &TruthTable) -> Arc<(Vec<Cube>, Vec<Cube>)> {
+        match function_key(tt) {
+            Some(key) => Arc::clone(
+                self.cache.entry(key).or_insert_with(|| Arc::new(qm::on_off_primes(tt))),
+            ),
+            None => Arc::new(qm::on_off_primes(tt)),
+        }
+    }
+
     /// `(on_primes, off_primes)` of the cell's function, cached.
     pub fn of(&mut self, netlist: &Netlist, cell: CellId) -> Arc<(Vec<Cube>, Vec<Cube>)> {
-        Arc::clone(self.cache.entry(cell).or_insert_with(|| {
-            Arc::new(qm::on_off_primes(netlist.library().cell(cell).function()))
-        }))
+        self.of_function(netlist.library().cell(cell).function())
     }
 
     /// Computes the primes of every cell the netlist instantiates, so
@@ -164,7 +194,7 @@ pub fn gate_on_off_primes(
     if distinct == g.inputs().len() {
         primes.of(netlist, g.cell())
     } else {
-        Arc::new(qm::on_off_primes(tt))
+        primes.of_function(tt)
     }
 }
 

@@ -124,6 +124,22 @@ pub trait SpcfEngine {
         Ok(())
     }
 
+    /// Re-aims an already-prepared engine at `cx.target` (the
+    /// warm-session path; see [`WarmSession`]). The default is a full
+    /// re-preparation — always correct, never fast. Engines whose
+    /// prepared state does not depend on the target override this to
+    /// skip the redundant rebuild: the short-path engine's arrival
+    /// tables, gate primes *and* stabilization memo are all
+    /// target-independent, and the path-based engine's waveforms cover
+    /// every time at once.
+    fn retarget(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        targets: &[NetId],
+    ) -> Result<(), Exhausted> {
+        self.prepare(cx, targets)
+    }
+
     /// The SPCF of `output` at `cx.target`, over `cx.bdd`.
     fn compute_output(
         &mut self,
@@ -131,7 +147,7 @@ pub trait SpcfEngine {
         output: NetId,
     ) -> Result<BddRef, Exhausted>;
 
-    /// Publishes the engine's counters (and the manager's `logic.bdd.*`
+    /// Publishes the engine's counters (and the manager's ``bdd.*``
     /// stats) to `tm-telemetry`. Called exactly once per session, after
     /// the last `compute_output` — succeeded or not.
     fn publish_metrics(&mut self, cx: &mut EngineCx<'_, '_>) {
@@ -320,6 +336,161 @@ impl<'n, 'c> EngineSession<'n, 'c> {
 
 impl Drop for EngineSession<'_, '_> {
     fn drop(&mut self) {
+        self.bdd.set_budget(self.prev_budget);
+    }
+}
+
+/// A reusable SPCF session: one manager, one engine, one prime cache,
+/// one global-BDD cache — queried at a *ladder* of Δ_y targets.
+///
+/// The protection-band sweep, `table1`/`table2`, and the DVS explorer
+/// all evaluate the same circuit at many targets. A cold
+/// [`EngineSession`] per point rebuilds everything; a warm session
+/// keeps it, because almost all of it is target-independent:
+///
+/// - the manager's unique table and computed caches (every retarget's
+///   BDD work lands on warm caches);
+/// - gate primes and lazily built global net functions;
+/// - the short-path engine's stabilization memo — `stab(s, t, v)` never
+///   mentions Δ_y, so a descending ladder re-derives each point from
+///   memoized stabilization sets. This is the computational face of the
+///   paper's monotonicity `Σ_y(Δ') ⊆ Σ_y(Δ)` for `Δ' ≥ Δ`: tightening
+///   the target only *adds* stabilization queries at earlier times; all
+///   previously answered ones are reused verbatim.
+///
+/// Engines opt into reuse via [`SpcfEngine::retarget`]; engines with
+/// target-dependent state (node-based required times) re-prepare and
+/// still benefit from the warm manager and caches.
+///
+/// Construction installs `budget` on the manager; `Drop` restores the
+/// previous budget and publishes the engine's telemetry once (lifetime
+/// engine counters must not be re-added per retarget).
+pub struct WarmSession<'n, 'c> {
+    netlist: &'n Netlist,
+    sta: &'c Sta<'n>,
+    bdd: &'c mut Bdd,
+    budget: Budget,
+    prev_budget: Budget,
+    engine: Box<dyn SpcfEngine>,
+    primes: GatePrimes,
+    globals: LazyGlobals,
+    retargets: u64,
+}
+
+impl<'n, 'c> WarmSession<'n, 'c> {
+    /// Opens a warm session for `algorithm`: validates the
+    /// netlist/STA/manager triple and installs `budget` on the manager
+    /// for the session's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sta` analyzes a different netlist or the manager has
+    /// fewer variables than the netlist has inputs.
+    pub fn new(
+        algorithm: Algorithm,
+        netlist: &'n Netlist,
+        sta: &'c Sta<'n>,
+        bdd: &'c mut Bdd,
+        budget: Budget,
+    ) -> Self {
+        assert!(std::ptr::eq(sta.netlist(), netlist), "STA must analyze the same netlist");
+        assert!(bdd.num_vars() >= netlist.inputs().len(), "BDD manager too narrow");
+        let prev_budget = bdd.budget();
+        bdd.set_budget(budget);
+        WarmSession {
+            netlist,
+            sta,
+            bdd,
+            budget,
+            prev_budget,
+            engine: engine_for(algorithm),
+            primes: GatePrimes::new(),
+            globals: LazyGlobals::new(netlist),
+            retargets: 0,
+        }
+    }
+
+    /// The algorithm this session runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.engine.algorithm()
+    }
+
+    /// The session's manager (for pattern counts, subset checks, …).
+    /// Returned references stay valid for the whole session.
+    pub fn bdd(&self) -> &Bdd {
+        self.bdd
+    }
+
+    /// Mutable access to the session's manager.
+    pub fn bdd_mut(&mut self) -> &mut Bdd {
+        self.bdd
+    }
+
+    /// Evaluates the SPCF of every output critical at `target`,
+    /// reusing all target-independent state from previous calls.
+    ///
+    /// Any call order is correct; a *descending* ladder is fastest for
+    /// the exact engines (each tightening extends, rather than
+    /// replaces, the work of the previous point).
+    pub fn try_retarget(&mut self, target: Delay) -> Result<SpcfSet, Exhausted> {
+        let _span = tm_telemetry::span::enter(span_name(self.engine.algorithm()));
+        tm_telemetry::counter_add("spcf.session.retargets", 1);
+        self.retargets += 1;
+        let start = Instant::now();
+        let targets = critical_outputs(self.netlist, self.sta, target);
+        let metric = output_ns_metric(self.engine.algorithm());
+        let algorithm = self.engine.algorithm();
+        let WarmSession { netlist, sta, bdd, budget, engine, primes, globals, .. } = self;
+        let mut cx = EngineCx {
+            netlist,
+            sta,
+            target,
+            budget: *budget,
+            bdd,
+            primes,
+            globals,
+        };
+        engine.retarget(&mut cx, &targets)?;
+        let mut outputs = Vec::with_capacity(targets.len());
+        for &o in &targets {
+            let t0 = Instant::now();
+            let spcf = engine.compute_output(&mut cx, o)?;
+            if let Some(m) = metric {
+                tm_telemetry::histogram_record(m, t0.elapsed().as_nanos() as f64);
+            }
+            outputs.push(OutputSpcf { output: o, spcf });
+        }
+        Ok(SpcfSet::new(algorithm, target, outputs, start.elapsed(), 1))
+    }
+
+    /// Infallible [`WarmSession::try_retarget`] for unlimited budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's budget is finite and exhausts.
+    pub fn retarget(&mut self, target: Delay) -> SpcfSet {
+        self.try_retarget(target).expect("unlimited budget cannot exhaust")
+    }
+
+    /// Number of targets evaluated so far.
+    pub fn retargets(&self) -> u64 {
+        self.retargets
+    }
+}
+
+impl Drop for WarmSession<'_, '_> {
+    fn drop(&mut self) {
+        let WarmSession { netlist, sta, bdd, budget, engine, primes, globals, .. } = self;
+        let mut cx = EngineCx {
+            netlist,
+            sta,
+            target: Delay::ZERO,
+            budget: *budget,
+            bdd,
+            primes,
+            globals,
+        };
+        engine.publish_metrics(&mut cx);
         self.bdd.set_budget(self.prev_budget);
     }
 }

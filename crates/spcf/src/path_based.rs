@@ -45,6 +45,11 @@ impl Waveform {
 #[derive(Default)]
 pub struct PathBasedEngine {
     waves: Vec<Option<Waveform>>,
+    /// The cone mask the waveforms were built over (empty before the
+    /// first `prepare`): a retarget whose targets all fall inside it is
+    /// a pure no-op — waveforms cover *every* time at once.
+    prepared_cone: Vec<bool>,
+    prepared_targets: Vec<NetId>,
     waveform_nodes: u64,
 }
 
@@ -68,8 +73,35 @@ impl SpcfEngine for PathBasedEngine {
             Some(&in_cone),
         )?;
         self.waves = waves;
+        self.prepared_cone = in_cone;
+        self.prepared_targets = targets.to_vec();
         self.waveform_nodes = waveform_nodes;
         Ok(())
+    }
+
+    /// Waveforms are step functions over *all* times, so retargeting
+    /// within the prepared cone costs nothing; a tighter target can
+    /// make new outputs critical, in which case the waveforms are
+    /// rebuilt over the union cone (in a warm manager, the overlap is
+    /// pure cache hits).
+    fn retarget(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        targets: &[NetId],
+    ) -> Result<(), Exhausted> {
+        let covered = |t: &NetId| {
+            self.prepared_cone.get(t.index()).copied().unwrap_or(false)
+        };
+        if targets.iter().all(covered) && !self.prepared_cone.is_empty() {
+            return Ok(());
+        }
+        let mut merged = self.prepared_targets.clone();
+        for &t in targets {
+            if !merged.contains(&t) {
+                merged.push(t);
+            }
+        }
+        self.prepare(cx, &merged)
     }
 
     fn compute_output(

@@ -45,10 +45,29 @@ pub struct ShortPathEngine {
     /// quantized): queries strictly below it are zero without recursion.
     min_arrivals_q: Vec<i64>,
     gate_info: Vec<GateInfo>,
-    memo: HashMap<(u32, i64, bool), BddRef>,
+    /// Stabilization memo, keyed by [`memo_key`]-packed
+    /// `(net, quantized time, phase)`. None of the three components
+    /// mentions the target Δ_y, so the memo survives warm-session
+    /// retargets intact.
+    memo: HashMap<u64, BddRef>,
+    prepared: bool,
     stab_calls: u64,
     memo_hits: u64,
     memo_misses: u64,
+}
+
+/// Packs a stabilization-memo key `(net, quantized time, phase)` into
+/// one u64: net in bits 41.., time in bits 1..41, phase in bit 0.
+///
+/// Injective for net indices below 2²³ and quantized times in
+/// `(0, 2⁴⁰)` — memoized queries are always strictly positive (earlier
+/// times short-circuit before the memo) and far below the 2⁴⁰ quantized
+/// range (≈ 10⁶ delay units at the 10⁻⁶ quantization step).
+#[inline]
+fn memo_key(net: u32, qt: i64, phase: bool) -> u64 {
+    debug_assert!(net < 1 << 23, "net index {net} exceeds the packed key range");
+    debug_assert!((1..1 << 40).contains(&qt), "quantized time {qt} exceeds the packed key range");
+    ((net as u64) << 41) | ((qt as u64) << 1) | phase as u64
 }
 
 impl ShortPathEngine {
@@ -80,7 +99,7 @@ impl ShortPathEngine {
         if qt <= 0 {
             return Ok(cx.bdd.zero()); // positive-delay logic cannot settle by 0
         }
-        let key = (net.index() as u32, qt, phase);
+        let key = memo_key(net.index() as u32, qt, phase);
         if let Some(&r) = self.memo.get(&key) {
             self.memo_hits += 1;
             return Ok(r);
@@ -149,7 +168,24 @@ impl SpcfEngine for ShortPathEngine {
                 .unwrap_or(0);
             self.min_arrivals_q[g.output().index()] = min_in;
         }
+        self.prepared = true;
         Ok(())
+    }
+
+    /// Everything this engine prepares — arrival tables, gate primes,
+    /// and the stabilization memo — is independent of Δ_y, so a warm
+    /// retarget skips preparation entirely and the new target's
+    /// recursion lands on the memoized stabilization sets of every
+    /// previous (looser) target.
+    fn retarget(
+        &mut self,
+        cx: &mut EngineCx<'_, '_>,
+        targets: &[NetId],
+    ) -> Result<(), Exhausted> {
+        if self.prepared {
+            return Ok(());
+        }
+        self.prepare(cx, targets)
     }
 
     fn compute_output(

@@ -155,6 +155,21 @@ fn engines_agree(
             nl.net_name(o.output)
         );
     }
+
+    // Export differential: the same SPCF exported from an independently
+    // grown manager must encode byte-identically — the [`PortableBdd`]
+    // encoding is structural (the plain ROBDD of the function), never
+    // historical (allocation order, complement parity, cache state).
+    let mut fresh = Bdd::new(nl.inputs().len());
+    let sp2 =
+        spcf_with(Algorithm::ShortPath, nl, sta, &mut fresh, target, &SpcfOptions::default());
+    for (a, b) in sp.outputs.iter().zip(&sp2.outputs) {
+        prop_assert!(
+            bdd.export(a.spcf) == fresh.export(b.spcf),
+            "PortableBdd export differs between managers for output {}",
+            nl.net_name(a.output)
+        );
+    }
     Ok((sp, pb, nb))
 }
 

@@ -82,13 +82,14 @@ fn comparator2_golden_metrics() {
 
     let snap = tm_telemetry::snapshot();
     assert_eq!(
-        snap.gauge("logic.bdd.nodes"),
+        snap.gauge("bdd.nodes"),
         Some(bdd.node_count() as f64),
         "gauge mirrors the live manager"
     );
-    // 13 ROBDD nodes (terminals + 4 vars' worth of comparator logic),
-    // 8 memoized (signal, time, phase) points, 18 stab() invocations.
-    assert_eq!(snap.gauge("logic.bdd.nodes"), Some(13.0));
+    // 7 nodes (shared terminal + 6 internal — complement edges roughly
+    // halve the plain ROBDD's 13), 8 memoized (signal, time, phase)
+    // points, 18 stab() invocations.
+    assert_eq!(snap.gauge("bdd.nodes"), Some(7.0));
     assert_eq!(snap.gauge("spcf.short_path.memo_entries"), Some(8.0));
     assert_eq!(snap.counter("spcf.short_path.stab_calls"), Some(18));
 }

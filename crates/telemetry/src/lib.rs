@@ -151,8 +151,8 @@ mod tests {
     #[test]
     fn disabled_thread_records_nothing() {
         set_thread_enabled(Some(false));
-        counter_add("logic.bdd.ite_cache_hit", 5);
-        gauge_set("logic.bdd.nodes", 9.0);
+        counter_add("bdd.cache.hits", 5);
+        gauge_set("bdd.nodes", 9.0);
         histogram_record("spcf.short_path.output_ns", 100.0);
         let _span = crate::span!("spcf.short_path");
         drop(_span);

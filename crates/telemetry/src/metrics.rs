@@ -328,9 +328,9 @@ mod tests {
     #[test]
     fn gauges_keep_last_write() {
         let _scope = Scope::enter();
-        gauge_set("logic.bdd.nodes", 10.0);
-        gauge_set("logic.bdd.nodes", 7.0);
-        assert_eq!(snapshot().gauge("logic.bdd.nodes"), Some(7.0));
+        gauge_set("bdd.nodes", 10.0);
+        gauge_set("bdd.nodes", 7.0);
+        assert_eq!(snapshot().gauge("bdd.nodes"), Some(7.0));
     }
 
     #[test]
@@ -359,14 +359,14 @@ mod tests {
     fn snapshot_orders_by_name() {
         let _scope = Scope::enter();
         counter_add("spcf.short_path.memo_miss", 1);
-        counter_add("logic.bdd.ite_cache_hit", 1);
+        counter_add("bdd.cache.hits", 1);
         counter_add("monitor.trace.dropped", 1);
         let snap = snapshot();
         let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
             vec![
-                "logic.bdd.ite_cache_hit",
+                "bdd.cache.hits",
                 "monitor.trace.dropped",
                 "spcf.short_path.memo_miss"
             ]
@@ -377,7 +377,7 @@ mod tests {
     fn absorb_merges_every_metric_kind() {
         let _scope = Scope::enter();
         counter_add("spcf.short_path.stab_calls", 3);
-        gauge_set("logic.bdd.nodes", 5.0);
+        gauge_set("bdd.nodes", 5.0);
         histogram_record("spcf.short_path.output_ns", 3.0);
         {
             let _span = crate::span!("spcf.short_path");
@@ -387,7 +387,7 @@ mod tests {
         let mut worker = Snapshot::default();
         worker.counters.push(("spcf.short_path.stab_calls".to_string(), 4));
         worker.counters.push(("not.registered".to_string(), 99));
-        worker.gauges.push(("logic.bdd.nodes".to_string(), 9.0));
+        worker.gauges.push(("bdd.nodes".to_string(), 9.0));
         let mut h = HistogramStat::default();
         h.record(1.5);
         h.record(2e12);
@@ -403,7 +403,7 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counter("spcf.short_path.stab_calls"), Some(7));
         assert_eq!(snap.counter("not.registered"), None, "unknown names are dropped");
-        assert_eq!(snap.gauge("logic.bdd.nodes"), Some(9.0), "worker gauge wins");
+        assert_eq!(snap.gauge("bdd.nodes"), Some(9.0), "worker gauge wins");
         let merged = snap.histogram("spcf.short_path.output_ns").expect("merged");
         assert_eq!(merged.count, 3);
         assert_eq!(merged.overflow, 1);
@@ -446,7 +446,7 @@ mod tests {
     #[test]
     fn json_round_trips_through_parser_and_schema() {
         let _scope = Scope::enter();
-        counter_add("logic.bdd.unique_hit", 41);
+        counter_add("bdd.unique.hits", 41);
         gauge_set("spcf.short_path.memo_entries", 12.0);
         histogram_record("spcf.path_based.output_ns", 1234.0);
         histogram_record("spcf.path_based.output_ns", 2e12); // overflow
@@ -459,7 +459,7 @@ mod tests {
         crate::schema::validate(&parsed).expect("report is schema-valid");
         // The parsed tree carries the same values the snapshot had.
         let counters = parsed.get("counters").and_then(Json::as_arr).expect("counters");
-        assert_eq!(counters[0].get("name").and_then(Json::as_str), Some("logic.bdd.unique_hit"));
+        assert_eq!(counters[0].get("name").and_then(Json::as_str), Some("bdd.unique.hits"));
         assert_eq!(counters[0].get("value").and_then(Json::as_num), Some(41.0));
         let hists = parsed.get("histograms").and_then(Json::as_arr).expect("histograms");
         let buckets = hists[0].get("buckets").and_then(Json::as_arr).expect("buckets");

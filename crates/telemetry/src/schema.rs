@@ -25,15 +25,21 @@ pub enum MetricKind {
 
 /// Every metric name the workspace may emit, with its kind.
 pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
-    // tm-logic: ROBDD manager.
-    ("logic.bdd.ite_cache_hit", MetricKind::Counter),
-    ("logic.bdd.ite_cache_miss", MetricKind::Counter),
-    ("logic.bdd.unique_hit", MetricKind::Counter),
-    ("logic.bdd.unique_miss", MetricKind::Counter),
-    ("logic.bdd.op_cache_clears", MetricKind::Counter),
-    ("logic.bdd.nodes", MetricKind::Gauge),
-    ("logic.bdd.unique_entries", MetricKind::Gauge),
-    // tm-spcf: the three SPCF engines.
+    // tm-logic: complement-edge ROBDD manager (unique table, lossy
+    // ITE computed cache, quantifier cache).
+    ("bdd.unique.hits", MetricKind::Counter),
+    ("bdd.unique.misses", MetricKind::Counter),
+    ("bdd.unique.rehashes", MetricKind::Counter),
+    ("bdd.cache.hits", MetricKind::Counter),
+    ("bdd.cache.misses", MetricKind::Counter),
+    ("bdd.cache.evictions", MetricKind::Counter),
+    ("bdd.cache.clears", MetricKind::Counter),
+    ("bdd.quant.hits", MetricKind::Counter),
+    ("bdd.quant.misses", MetricKind::Counter),
+    ("bdd.nodes", MetricKind::Gauge),
+    ("bdd.unique.entries", MetricKind::Gauge),
+    // tm-spcf: the engine sessions and the three SPCF engines.
+    ("spcf.session.retargets", MetricKind::Counter),
     ("spcf.short_path.memo_hit", MetricKind::Counter),
     ("spcf.short_path.memo_miss", MetricKind::Counter),
     ("spcf.short_path.stab_calls", MetricKind::Counter),
@@ -261,7 +267,7 @@ mod tests {
         let report = Json::parse(
             r#"{"schema_version": 1,
                 "spans": [{"name": "spcf.bogus", "calls": 1, "total_ns": 5, "self_ns": 5}],
-                "counters": [{"name": "logic.bdd.nodes", "value": 3}],
+                "counters": [{"name": "bdd.nodes", "value": 3}],
                 "gauges": [],
                 "histograms": []}"#,
         )
@@ -295,7 +301,7 @@ mod tests {
     fn accepts_a_real_snapshot() {
         let _scope = crate::Scope::enter();
         crate::counter_add("spcf.short_path.memo_hit", 7);
-        crate::gauge_set("logic.bdd.nodes", 42.0);
+        crate::gauge_set("bdd.nodes", 42.0);
         crate::histogram_record("spcf.short_path.output_ns", 1234.0);
         crate::histogram_record("spcf.short_path.output_ns", 5e12); // overflow bucket
         {

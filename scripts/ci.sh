@@ -53,6 +53,19 @@ cargo bench -q --offline -p tm-bench --bench spcf_algorithms -- \
 test -s "$metrics_json" || { echo "ERROR: bench wrote no metrics snapshot" >&2; exit 1; }
 cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- "$metrics_json"
 
+echo "== BDD micro-bench smoke + cache-stats sanity =="
+# The bdd_ops kernels exercise the hot core directly; any SPCF workload
+# must hit the ITE computed cache, so a snapshot with zero
+# `bdd.cache.hits` means the cache or its instrumentation regressed.
+bdd_metrics_json=target/tm-bench/ci-bdd-metrics.json
+rm -f "$bdd_metrics_json"
+cargo bench -q --offline -p tm-bench --bench bdd_ops -- \
+    --samples 1 --metrics-out "$bdd_metrics_json"
+test -s "$bdd_metrics_json" || { echo "ERROR: bdd_ops wrote no metrics snapshot" >&2; exit 1; }
+cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- \
+    --require-nonzero bdd.cache.hits --require-nonzero bdd.unique.hits \
+    "$bdd_metrics_json" "$metrics_json"
+
 echo "== panic audit (non-test library code) =="
 audit=$(mktemp)
 # Everything before the first `#[cfg(test)]` in each library source file
