@@ -1,0 +1,361 @@
+//! Open-loop load generator for the `tm-server` daemon.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--smoke] [--expect-shed]
+//!         [--out BENCH_serve.json] [--stats-out metrics.json]
+//!         [--duration-ms N] [--senders N]
+//! ```
+//!
+//! The full run sweeps arrival rates (calibrated from a serial warm-up
+//! pass) with scheduled request start times — open loop, so a slow
+//! server faces a growing backlog instead of a politely backing-off
+//! client — and writes p50/p95/p99 latency plus achieved req/s per
+//! rate to `BENCH_serve.json`. `--smoke` is the CI entry point: a
+//! short serial pass, a connection burst that must trip admission
+//! control when the server runs with a tiny `--admit`, and a `STATS`
+//! check.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tm_server::gen::synthetic_blif;
+use tm_server::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use tm_testkit::json::Json;
+
+/// Circuits in the request mix (distinct seeds → distinct pool keys).
+const CORPUS_SEEDS: [u64; 4] = [11, 22, 33, 44];
+
+fn corpus() -> Vec<String> {
+    CORPUS_SEEDS
+        .iter()
+        .map(|&seed| {
+            let payload = Json::obj([
+                ("verb", Json::str("spcf")),
+                ("blif", Json::str(synthetic_blif(seed, 10, 28))),
+                ("algorithm", Json::str("short-path")),
+                ("targets", Json::Arr(vec![Json::Num(0.95), Json::Num(0.9)])),
+                ("relative", Json::Bool(true)),
+            ]);
+            payload.render()
+        })
+        .collect()
+}
+
+/// One request over a fresh connection: returns (latency, frames), or
+/// the terminal error frame's code.
+fn one_request(addr: &str, payload: &str) -> Result<(Duration, Vec<Json>), String> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    write_frame(&mut stream, payload.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut frames = Vec::new();
+    loop {
+        let raw = match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => break,
+            Err(e) => return Err(format!("read: {e}")),
+        };
+        let text = String::from_utf8(raw).map_err(|_| "non-utf8 frame".to_string())?;
+        let json = Json::parse(&text).map_err(|e| format!("bad frame json: {e}"))?;
+        let kind = json.get("type").and_then(Json::as_str).unwrap_or("").to_string();
+        frames.push(json);
+        match kind.as_str() {
+            "done" | "stats" | "mask_report" => break,
+            "error" => {
+                let code = frames
+                    .last()
+                    .and_then(|j| j.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                return Err(format!("error:{code}"));
+            }
+            _ => {}
+        }
+    }
+    Ok((start.elapsed(), frames))
+}
+
+/// Like [`one_request`], but retries the typed `overloaded` rejection
+/// with a short backoff — the admission gate covers the whole
+/// connection lifetime, so a serial client reconnecting immediately
+/// can race the server's EOF processing under a tiny `--admit`.
+fn request_with_retry(addr: &str, payload: &str) -> Result<(Duration, Vec<Json>), String> {
+    let mut last = String::new();
+    for _ in 0..50 {
+        match one_request(addr, payload) {
+            Err(e) if e == "error:overloaded" => {
+                last = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => return other,
+        }
+    }
+    Err(last)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let k = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[k.min(sorted.len() - 1)]
+}
+
+struct RatePoint {
+    target_rps: f64,
+    achieved_rps: f64,
+    completed: usize,
+    errors: usize,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+}
+
+/// Open-loop pass at `rate` req/s for `duration`: request `k` starts at
+/// `k/rate` regardless of how request `k-1` is doing.
+fn run_rate(addr: &str, payloads: &[String], rate: f64, duration: Duration, senders: usize) -> RatePoint {
+    let total = ((rate * duration.as_secs_f64()).floor() as usize).max(1);
+    let errors = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for s in 0..senders {
+        let addr = addr.to_string();
+        let payloads = payloads.to_vec();
+        let errors = Arc::clone(&errors);
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut k = s;
+            while k < total {
+                let scheduled = t0 + Duration::from_secs_f64(k as f64 / rate);
+                if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                match one_request(&addr, &payloads[k % payloads.len()]) {
+                    Ok((latency, _)) => latencies.push(latency),
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                k += senders;
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<Duration> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("sender thread"));
+    }
+    let elapsed = t0.elapsed();
+    latencies.sort();
+    RatePoint {
+        target_rps: rate,
+        achieved_rps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        completed: latencies.len(),
+        errors: errors.load(Ordering::Relaxed),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+/// A near-simultaneous connection burst. Returns how many requests were
+/// answered with the typed `overloaded` rejection.
+fn shed_burst(addr: &str, payload: &str, burst: usize) -> usize {
+    let shed = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..burst {
+        let addr = addr.to_string();
+        let payload = payload.to_string();
+        let shed = Arc::clone(&shed);
+        handles.push(std::thread::spawn(move || {
+            if let Err(e) = one_request(&addr, &payload) {
+                if e == "error:overloaded" {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    shed.load(Ordering::Relaxed)
+}
+
+/// Fetches the server's STATS frame.
+fn fetch_stats(addr: &str) -> Result<Json, String> {
+    let (_, frames) = request_with_retry(addr, r#"{"verb":"stats"}"#)?;
+    frames.into_iter().next().ok_or_else(|| "empty stats response".to_string())
+}
+
+fn stats_counter(stats: &Json, name: &str) -> f64 {
+    stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(Json::as_arr)
+        .and_then(|cs| {
+            cs.iter()
+                .find(|c| c.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|c| c.get("value").and_then(Json::as_num))
+        })
+        .unwrap_or(0.0)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--smoke] [--expect-shed] [--out FILE] \
+         [--stats-out FILE] [--duration-ms N] [--senders N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut smoke = false;
+    let mut expect_shed = false;
+    let mut out: Option<String> = None;
+    let mut stats_out: Option<String> = None;
+    let mut duration = Duration::from_millis(2000);
+    let mut senders = 8usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--smoke" => smoke = true,
+            "--expect-shed" => expect_shed = true,
+            "--out" => out = args.next(),
+            "--stats-out" => stats_out = args.next(),
+            "--duration-ms" => {
+                duration = Duration::from_millis(
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                )
+            }
+            "--senders" => {
+                senders = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    let payloads = corpus();
+    let mut failed = false;
+
+    // Warm-up / calibration: serial requests measure the per-request
+    // cost with a warm pool and give the rate sweep its scale.
+    let warmup = if smoke { 8 } else { 24 };
+    let mut serial = Vec::new();
+    for k in 0..warmup {
+        match request_with_retry(&addr, &payloads[k % payloads.len()]) {
+            Ok((latency, _)) => serial.push(latency),
+            Err(e) => {
+                eprintln!("loadgen: warm-up request {k} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    serial.sort();
+    let serial_p50 = percentile(&serial, 0.5);
+    eprintln!(
+        "loadgen: warm-up {}/{warmup} ok, serial p50 {:.2} ms",
+        serial.len(),
+        serial_p50.as_secs_f64() * 1e3
+    );
+
+    let mut rate_points = Vec::new();
+    if !smoke && !serial.is_empty() {
+        // Sweep multiples of the serial throughput; the top rung is
+        // far past what one connection can sustain, so the best
+        // achieved rate is the saturation throughput.
+        let base = 1.0 / serial_p50.as_secs_f64().max(1e-6);
+        for mult in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let rate = base * mult;
+            let point = run_rate(&addr, &payloads, rate, duration, senders);
+            eprintln!(
+                "loadgen: target {:.1} rps -> achieved {:.1} rps, p50 {:.2} ms, p99 {:.2} ms, {} errors",
+                point.target_rps,
+                point.achieved_rps,
+                point.p50.as_secs_f64() * 1e3,
+                point.p99.as_secs_f64() * 1e3,
+                point.errors
+            );
+            rate_points.push(point);
+        }
+    }
+
+    let mut shed_seen = 0usize;
+    if expect_shed {
+        shed_seen = shed_burst(&addr, &payloads[0], 16);
+        eprintln!("loadgen: shed burst -> {shed_seen} overloaded rejections");
+    }
+
+    match fetch_stats(&addr) {
+        Ok(stats) => {
+            let requests = stats_counter(&stats, "serve.requests");
+            let shed_total = stats_counter(&stats, "serve.shed");
+            eprintln!("loadgen: server counted {requests} requests, {shed_total} shed");
+            if expect_shed && shed_seen == 0 && shed_total == 0.0 {
+                eprintln!("loadgen: FAIL expected at least one shed request");
+                failed = true;
+            }
+            if let Some(path) = stats_out {
+                let metrics =
+                    stats.get("metrics").cloned().unwrap_or(Json::obj([]));
+                if let Err(e) = std::fs::write(&path, metrics.render() + "\n") {
+                    eprintln!("loadgen: cannot write {path}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen: STATS failed: {e}");
+            failed = true;
+        }
+    }
+
+    if let Some(path) = out {
+        let saturation = rate_points
+            .iter()
+            .map(|p| p.achieved_rps)
+            .fold(0.0f64, f64::max);
+        let points: Vec<Json> = rate_points
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("target_rps", Json::Num(p.target_rps)),
+                    ("achieved_rps", Json::Num(p.achieved_rps)),
+                    ("completed", Json::Num(p.completed as f64)),
+                    ("errors", Json::Num(p.errors as f64)),
+                    ("p50_ns", Json::Num(p.p50.as_nanos() as f64)),
+                    ("p95_ns", Json::Num(p.p95.as_nanos() as f64)),
+                    ("p99_ns", Json::Num(p.p99.as_nanos() as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("group", Json::str("serve")),
+            ("senders", Json::Num(senders as f64)),
+            ("duration_ms", Json::Num(duration.as_millis() as f64)),
+            ("serial_p50_ns", Json::Num(serial_p50.as_nanos() as f64)),
+            ("rates", Json::Arr(points)),
+            ("saturation_rps", Json::Num(saturation)),
+        ]);
+        match std::fs::File::create(&path)
+            .and_then(|mut f| writeln!(f, "{}", doc.render()))
+        {
+            Ok(()) => eprintln!("loadgen: wrote {path}"),
+            Err(e) => {
+                eprintln!("loadgen: cannot write {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

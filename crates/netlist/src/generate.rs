@@ -18,7 +18,7 @@
 //!   clear near-critical speed-paths with thin SPCF slices, the masking
 //!   cost amortizes over the outputs sharing a trunk, and the differing
 //!   tail slacks create the multi-fanout criticality that separates the
-//!   node-based SPCF from the exact one (see `DESIGN.md` §10).
+//!   node-based SPCF from the exact one (see `DESIGN.md` §11).
 //!
 //! Generation is deterministic in the seed.
 

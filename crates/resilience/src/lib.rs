@@ -384,6 +384,75 @@ impl<T, E: Into<TmError>> Context<T> for Result<T, E> {
     }
 }
 
+/// A counting admission gate: at most `capacity` permits outstanding at
+/// once, handed out without blocking.
+///
+/// This is the load-shedding primitive of the serving layer: an
+/// acceptor calls [`Gate::try_enter`] per connection and turns `None`
+/// into a typed "overloaded" rejection instead of queueing unboundedly.
+/// The returned [`Permit`] releases its slot on `Drop`, so a panic or
+/// early return in the admitted work can never leak capacity. The
+/// current load ([`Gate::in_flight`]) also drives the degradation
+/// ladder: rising occupancy steps requests down to cheaper SPCF
+/// engines before the gate starts rejecting outright.
+#[derive(Debug)]
+pub struct Gate {
+    capacity: usize,
+    in_flight: std::sync::atomic::AtomicUsize,
+}
+
+impl Gate {
+    /// A gate admitting at most `capacity` concurrent holders
+    /// (`capacity = 0` rejects everything).
+    pub fn new(capacity: usize) -> Self {
+        Gate { capacity, in_flight: std::sync::atomic::AtomicUsize::new(0) }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently outstanding.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Tries to take a permit; `None` means the gate is full and the
+    /// caller should shed the work. Never blocks.
+    pub fn try_enter(self: &std::sync::Arc<Self>) -> Option<Permit> {
+        use std::sync::atomic::Ordering;
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit { gate: std::sync::Arc::clone(self) }),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// An admission slot held while a request is in flight; dropping it
+/// releases the slot (see [`Gate`]).
+#[derive(Debug)]
+pub struct Permit {
+    gate: std::sync::Arc<Gate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,5 +585,46 @@ mod tests {
         let r: TmResult<()> = inner().context("building waveforms");
         let msg = r.unwrap_err().to_string();
         assert!(msg.starts_with("building waveforms: "), "{msg}");
+    }
+
+    #[test]
+    fn gate_caps_permits_and_drop_releases() {
+        let gate = std::sync::Arc::new(Gate::new(2));
+        let a = gate.try_enter().expect("slot 1");
+        let b = gate.try_enter().expect("slot 2");
+        assert!(gate.try_enter().is_none(), "full gate sheds");
+        assert_eq!(gate.in_flight(), 2);
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+        let c = gate.try_enter().expect("released slot is reusable");
+        drop((b, c));
+        assert_eq!(gate.in_flight(), 0);
+        assert!(std::sync::Arc::new(Gate::new(0)).try_enter().is_none(), "zero capacity");
+    }
+
+    #[test]
+    fn gate_never_overadmits_under_contention() {
+        let gate = std::sync::Arc::new(Gate::new(3));
+        let peak = std::sync::atomic::AtomicUsize::new(0);
+        let admitted = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        if let Some(permit) = gate.try_enter() {
+                            admitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            peak.fetch_max(
+                                gate.in_flight(),
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                            drop(permit);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(std::sync::atomic::Ordering::Relaxed) <= 3, "capacity respected");
+        assert!(admitted.load(std::sync::atomic::Ordering::Relaxed) > 0, "some work admitted");
+        assert_eq!(gate.in_flight(), 0, "all permits returned");
     }
 }

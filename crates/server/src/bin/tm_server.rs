@@ -1,0 +1,96 @@
+//! The `tm-server` daemon: masking-as-a-service over TCP.
+//!
+//! ```text
+//! tm-server [--addr HOST:PORT] [--workers N] [--pool N] [--admit N]
+//!           [--max-steps N] [--read-timeout-ms N]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port), prints the
+//! bound address as `listening ADDR` on stdout, and serves until
+//! killed. See DESIGN.md §10 for the protocol and the README for a
+//! quickstart with the `loadgen` client.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+use tm_resilience::Budget;
+use tm_server::serve::{ServeConfig, ServeCore};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tm-server [--addr HOST:PORT] [--workers N] [--pool N] [--admit N] \
+         [--max-steps N] [--read-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("tm-server: {flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7177".to_string();
+    let mut workers: Option<usize> = None;
+    let mut pool: Option<usize> = None;
+    let mut admit: Option<usize> = None;
+    let mut max_steps: Option<u64> = None;
+    let mut read_timeout_ms: Option<u64> = None;
+
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse_flag(&mut args, "--addr"),
+            "--workers" => workers = Some(parse_flag(&mut args, "--workers")),
+            "--pool" => pool = Some(parse_flag(&mut args, "--pool")),
+            "--admit" => admit = Some(parse_flag(&mut args, "--admit")),
+            "--max-steps" => max_steps = Some(parse_flag(&mut args, "--max-steps")),
+            "--read-timeout-ms" => {
+                read_timeout_ms = Some(parse_flag(&mut args, "--read-timeout-ms"))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("tm-server: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let mut config = ServeConfig::for_workers(workers.unwrap_or(4));
+    if let Some(n) = pool {
+        config.pool_capacity = n;
+    }
+    if let Some(n) = admit {
+        config.admit = n;
+    }
+    if let Some(n) = max_steps {
+        config.budget = Budget::unlimited().with_max_steps(n);
+    }
+    if let Some(ms) = read_timeout_ms {
+        config.read_timeout = Duration::from_millis(ms);
+    }
+
+    let core = Arc::new(ServeCore::new(config));
+    let handle = match tm_server::net::serve(core, addr.as_str()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("tm-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "tm-server: {} workers, pool {}, admitting {} (send a STATS frame for metrics)",
+        config.workers, config.pool_capacity, config.admit
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,229 @@
+//! The TCP front of the daemon: acceptor, admission gate, hand-rolled
+//! worker pool, per-connection framing loop, and clean shutdown.
+//!
+//! The acceptor owns admission control: each connection must win a
+//! [`tm_resilience::Permit`] from the core's gate *before* it is
+//! queued, so a saturated server sheds at accept time with a typed
+//! `overloaded` frame instead of queueing unboundedly. The permit
+//! travels with the connection and releases on drop — including on
+//! worker panic paths — so the gate can never leak capacity.
+//!
+//! Error discipline inside a connection (satellite #1's fuzz battery
+//! pins all of this):
+//!
+//! - payload-level failures (bad JSON, bad BLIF, unknown verb,
+//!   budget exhaustion) answer with a typed error frame and keep the
+//!   connection open;
+//! - framing-level failures (oversized declared length, empty frame,
+//!   read timeout) answer where possible and close;
+//! - a truncated frame or dropped socket just closes;
+//! - a panic anywhere in request handling is caught, answered as a
+//!   typed `internal` frame, and the worker lives on. The fuzzer
+//!   asserts the `internal` code never actually appears — the catch
+//!   is a containment boundary, not an expected path.
+
+use crate::pool::lock_recover;
+use crate::protocol::{error_frame, read_frame, write_frame, FrameError};
+use crate::serve::ServeCore;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use tm_resilience::Permit;
+
+/// Pending accepted connections, each carrying its admission permit.
+struct ConnQueue {
+    queue: Mutex<VecDeque<(TcpStream, Permit)>>,
+    available: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, conn: (TcpStream, Permit)) {
+        lock_recover(&self.queue).push_back(conn);
+        self.available.notify_one();
+    }
+
+    fn pop(&self, shutdown: &AtomicBool) -> Option<(TcpStream, Permit)> {
+        let mut q = lock_recover(&self.queue);
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.available.wait(q).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// A running daemon: its bound address and the threads behind it.
+/// Dropping the handle leaves the daemon running (the binary relies on
+/// that); call [`ServerHandle::shutdown`] for an orderly stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    core: Arc<ServeCore>,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving core (tests read pool stats through it).
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+
+    /// Stops accepting, drains queued connections, and joins every
+    /// thread. In-flight connections finish their current frame loop.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        self.queue.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts the acceptor plus `config.workers` worker
+/// threads. Returns once the listener is bound; serving continues in
+/// the background until [`ServerHandle::shutdown`].
+pub fn serve(core: Arc<ServeCore>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue { queue: Mutex::new(VecDeque::new()), available: Condvar::new() });
+
+    let mut threads = Vec::with_capacity(core.config().workers + 1);
+    for k in 0..core.config().workers {
+        let core = Arc::clone(&core);
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("tm-serve-{k}"))
+                .spawn(move || worker_loop(&core, &queue, &shutdown))?,
+        );
+    }
+    {
+        let core = Arc::clone(&core);
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("tm-accept".to_string())
+                .spawn(move || accept_loop(&core, &listener, &queue, &shutdown))?,
+        );
+    }
+    Ok(ServerHandle { addr: bound, core, shutdown, queue, threads })
+}
+
+fn accept_loop(
+    core: &ServeCore,
+    listener: &TcpListener,
+    queue: &ConnQueue,
+    shutdown: &AtomicBool,
+) {
+    tm_telemetry::set_thread_enabled(Some(true));
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match core.gate().try_enter() {
+            Some(permit) => queue.push((stream, permit)),
+            None => {
+                // Full house: typed rejection at accept time, then
+                // close. Best-effort — a client that already left
+                // doesn't need the frame.
+                tm_telemetry::counter_add("serve.shed", 1);
+                let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(200)));
+                let _ = write_frame(
+                    &mut stream,
+                    error_frame("overloaded", "admission gate full; retry later").as_bytes(),
+                );
+                core.fold_local_telemetry();
+            }
+        }
+    }
+}
+
+fn worker_loop(core: &ServeCore, queue: &ConnQueue, shutdown: &AtomicBool) {
+    tm_telemetry::set_thread_enabled(Some(true));
+    while let Some((stream, permit)) = queue.pop(shutdown) {
+        serve_connection(core, stream);
+        drop(permit);
+        core.fold_local_telemetry();
+    }
+}
+
+fn serve_connection(core: &ServeCore, mut stream: TcpStream) {
+    let config = *core.config();
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_frame(&mut stream, config.max_frame) {
+            Ok(None) => return, // clean EOF between frames
+            Ok(Some(payload)) => {
+                let frames =
+                    match catch_unwind(AssertUnwindSafe(|| core.handle_payload(&payload))) {
+                        Ok(frames) => frames,
+                        Err(_) => {
+                            tm_telemetry::counter_add("serve.errors", 1);
+                            vec![error_frame("internal", "request handling panicked")]
+                        }
+                    };
+                for frame in &frames {
+                    if write_frame(&mut stream, frame.as_bytes()).is_err() {
+                        return; // client went away mid-stream
+                    }
+                }
+            }
+            Err(FrameError::Empty) => {
+                // Zero-length frames are a protocol violation but the
+                // stream is still in sync: answer and keep going.
+                if write_frame(
+                    &mut stream,
+                    error_frame("protocol", "empty frame").as_bytes(),
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+            Err(e @ FrameError::TooLarge { .. }) => {
+                // The declared length is unreadable garbage or an
+                // attack; we cannot resynchronize, so answer and close.
+                let _ = write_frame(&mut stream, error_frame("protocol", e.to_string()).as_bytes());
+                return;
+            }
+            Err(e @ FrameError::Io(_)) if e.is_timeout() => {
+                let _ = write_frame(
+                    &mut stream,
+                    error_frame("timeout", "read timed out mid-frame").as_bytes(),
+                );
+                return;
+            }
+            Err(_) => return, // truncated frame or dropped socket
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The warm-session pool: reusable per-circuit engine state keyed by
+//! netlist hash, with LRU eviction (DESIGN.md §10).
+//!
+//! A [`PooledSession`] is the owning counterpart of
+//! [`tm_spcf::WarmSession`]: where the borrow-based session lives
+//! inside one call frame, the pooled session owns its netlist, BDD
+//! manager, gate primes, global functions, and one engine per
+//! algorithm, so it can sit in a long-lived pool and serve request
+//! after request. Reuse preserves the warm-session contract:
+//!
+//! - the manager, primes, and globals are target-independent and are
+//!   always reused;
+//! - each algorithm's engine is reused across *descending* Δ_y steps
+//!   (the monotonic-memo fast path) and **rebuilt** on an ascending
+//!   step — the server-path half of the unsorted-ladder fix, mirroring
+//!   `WarmSession`;
+//! - a budget-exhausted or panicked computation discards the engine
+//!   (its prepared state may be partial), never the session.
+//!
+//! [`SessionPool`] keys sessions by FNV-1a over the *canonicalized*
+//! BLIF (parse → [`tm_netlist::blif::write_blif`]), so textually
+//! different but structurally identical submissions share one session.
+//! Eviction is strict LRU over completed checkouts; an evicted session
+//! still being used by an in-flight request stays alive through its
+//! `Arc` and dies when that request finishes.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+use tm_logic::Bdd;
+use tm_netlist::blif::write_blif;
+use tm_netlist::library::Library;
+use tm_netlist::map::{tech_map, MapOptions};
+use tm_netlist::sop_network::SopNetwork;
+use tm_netlist::{Delay, Netlist};
+use tm_resilience::{Budget, Exhausted, TmError};
+use tm_spcf::engine::{critical_outputs, engine_for, EngineCx, SpcfEngine};
+use tm_spcf::{Algorithm, GatePrimes, LazyGlobals, OutputSpcf, SpcfSet};
+use tm_sta::Sta;
+
+/// FNV-1a 64-bit hash — the pool key over canonicalized BLIF.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonicalizes a parsed BLIF network back to text. Hashing this —
+/// not the submitted bytes — makes the pool key insensitive to
+/// whitespace, comments, and line-continuation differences.
+pub fn canonical_blif(sop: &SopNetwork) -> String {
+    write_blif(sop)
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// a long-running server must not let one poisoned request wedge every
+/// later one. Session state is re-validated by the engine-discard
+/// policy in [`PooledSession::compute`].
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn algo_index(algorithm: Algorithm) -> usize {
+    match algorithm {
+        Algorithm::ShortPath => 0,
+        Algorithm::PathBased => 1,
+        Algorithm::NodeBased => 2,
+        Algorithm::Conservative => 3,
+    }
+}
+
+struct EngineSlot {
+    engine: Box<dyn SpcfEngine + Send>,
+    last_target: Option<Delay>,
+}
+
+/// One circuit's warm serving state: netlist, BDD manager, and one
+/// engine per algorithm, reusable across requests (see module docs).
+pub struct PooledSession {
+    netlist: Arc<Netlist>,
+    bdd: Bdd,
+    primes: GatePrimes,
+    globals: LazyGlobals,
+    slots: [Option<EngineSlot>; 4],
+    computes: u64,
+}
+
+impl PooledSession {
+    /// Builds a session by technology-mapping a parsed BLIF network
+    /// onto `library`.
+    pub fn build(sop: &SopNetwork, library: Arc<Library>) -> Result<PooledSession, TmError> {
+        if sop.outputs().is_empty() {
+            return Err(TmError::invalid_input("circuit has no primary outputs"));
+        }
+        if sop.inputs().is_empty() {
+            return Err(TmError::invalid_input("circuit has no primary inputs"));
+        }
+        let netlist = Arc::new(tech_map(sop, library, MapOptions::default()));
+        Ok(PooledSession::from_netlist(netlist))
+    }
+
+    /// Wraps an already-mapped netlist (test entry point).
+    pub fn from_netlist(netlist: Arc<Netlist>) -> PooledSession {
+        let num_inputs = netlist.inputs().len();
+        let globals = LazyGlobals::new(&netlist);
+        PooledSession {
+            netlist,
+            bdd: Bdd::new(num_inputs),
+            primes: GatePrimes::new(),
+            globals,
+            slots: [None, None, None, None],
+            computes: 0,
+        }
+    }
+
+    /// The mapped circuit this session serves.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The session's BDD manager (for pattern counts in reports).
+    pub fn bdd(&self) -> &Bdd {
+        &self.bdd
+    }
+
+    /// The circuit's critical path delay Δ (recomputed per call; STA is
+    /// linear in the netlist and borrow-tied to it, so it cannot be
+    /// stored here).
+    pub fn delta(&self) -> Delay {
+        Sta::new(&self.netlist).critical_path_delay()
+    }
+
+    /// Live node count of the session's manager.
+    pub fn node_count(&self) -> u64 {
+        self.bdd.node_count() as u64
+    }
+
+    /// Total memo entries across the session's warm engines.
+    pub fn memo_entries(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.engine.memo_entries())
+            .fold(0, u64::saturating_add)
+    }
+
+    /// Requests served by this session.
+    pub fn computes(&self) -> u64 {
+        self.computes
+    }
+
+    /// Evaluates the SPCF of every output critical at `target` under
+    /// `budget`, reusing warm state where the ladder contract allows:
+    /// an ascending Δ_y step rebuilds the algorithm's engine instead of
+    /// trusting its retarget fast path (the server-side unsorted-ladder
+    /// fix), and an exhausted or panicked run discards the engine so
+    /// partial prepared state can never leak into the next request.
+    pub fn compute(
+        &mut self,
+        algorithm: Algorithm,
+        target: Delay,
+        budget: Budget,
+    ) -> Result<SpcfSet, Exhausted> {
+        let start = Instant::now();
+        self.computes += 1;
+        let idx = algo_index(algorithm);
+        // Take the engine out for the duration of the run: a panic
+        // unwinding through `compute` leaves the slot empty, so the
+        // next request starts from a fresh engine, not a half-prepared
+        // one.
+        let slot = match self.slots[idx].take() {
+            Some(slot) if slot.last_target.is_some_and(|prev| target > prev) => {
+                // Ascending step: outside the monotonic-reuse contract.
+                tm_telemetry::counter_add("spcf.session.rebuilds", 1);
+                None
+            }
+            other => other,
+        };
+        let mut slot = slot.unwrap_or_else(|| EngineSlot {
+            engine: engine_for(algorithm),
+            last_target: None,
+        });
+        slot.last_target = Some(target);
+
+        let sta = Sta::new(&self.netlist);
+        let targets = critical_outputs(&self.netlist, &sta, target);
+        let prev_budget = self.bdd.budget();
+        self.bdd.set_budget(budget);
+        tm_telemetry::counter_add("spcf.session.retargets", 1);
+        let result = {
+            let mut cx = EngineCx {
+                netlist: &self.netlist,
+                sta: &sta,
+                target,
+                budget,
+                bdd: &mut self.bdd,
+                primes: &mut self.primes,
+                globals: &mut self.globals,
+            };
+            slot.engine.retarget(&mut cx, &targets).and_then(|()| {
+                let mut outputs = Vec::with_capacity(targets.len());
+                for &o in &targets {
+                    outputs.push(OutputSpcf { output: o, spcf: slot.engine.compute_output(&mut cx, o)? });
+                }
+                Ok(outputs)
+            })
+        };
+        self.bdd.set_budget(prev_budget);
+        match result {
+            Ok(outputs) => {
+                self.slots[idx] = Some(slot);
+                Ok(SpcfSet::new(algorithm, target, outputs, start.elapsed(), 1))
+            }
+            Err(e) => Err(e), // slot stays empty: rebuild on next use
+        }
+    }
+}
+
+/// Aggregate pool statistics (the `pool` object of a `stats` frame and
+/// the soak test's flat-memory oracle).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Sessions currently resident.
+    pub sessions: usize,
+    /// Checkouts that found a resident session.
+    pub hits: u64,
+    /// Checkouts that had to build a session.
+    pub misses: u64,
+    /// Sessions evicted to make room (strict LRU).
+    pub evictions: u64,
+    /// Total BDD nodes across resident sessions.
+    pub bdd_nodes: u64,
+    /// Total engine memo entries across resident sessions.
+    pub memo_entries: u64,
+}
+
+struct PoolInner {
+    /// Most-recently-used first.
+    entries: Vec<(u64, Arc<Mutex<PooledSession>>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// An LRU pool of [`PooledSession`]s keyed by canonical-BLIF hash.
+pub struct SessionPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl SessionPool {
+    /// A pool holding at most `capacity` sessions (floored at 1).
+    pub fn new(capacity: usize) -> SessionPool {
+        SessionPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PoolInner { entries: Vec::new(), hits: 0, misses: 0, evictions: 0 }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the session for `key`, building it with `build` on a
+    /// miss (under the pool lock, so concurrent misses for the same
+    /// circuit build exactly once). On a miss at capacity the
+    /// least-recently-used session is evicted first.
+    pub fn checkout(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<PooledSession, TmError>,
+    ) -> Result<Arc<Mutex<PooledSession>>, TmError> {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+            inner.hits += 1;
+            tm_telemetry::counter_add("serve.pool.hits", 1);
+            let entry = inner.entries.remove(pos);
+            let session = Arc::clone(&entry.1);
+            inner.entries.insert(0, entry);
+            return Ok(session);
+        }
+        inner.misses += 1;
+        tm_telemetry::counter_add("serve.pool.misses", 1);
+        let session = Arc::new(Mutex::new(build()?));
+        if inner.entries.len() >= self.capacity {
+            inner.entries.pop();
+            inner.evictions += 1;
+            tm_telemetry::counter_add("serve.pool.evictions", 1);
+        }
+        inner.entries.insert(0, (key, Arc::clone(&session)));
+        Ok(session)
+    }
+
+    /// Point-in-time statistics. Sessions are sized outside the pool
+    /// lock, so a busy session delays only this reader, not checkouts.
+    pub fn stats(&self) -> PoolStats {
+        let (sessions, counters) = {
+            let inner = lock_recover(&self.inner);
+            let sessions: Vec<Arc<Mutex<PooledSession>>> =
+                inner.entries.iter().map(|(_, s)| Arc::clone(s)).collect();
+            (sessions, (inner.hits, inner.misses, inner.evictions))
+        };
+        let mut stats = PoolStats {
+            sessions: sessions.len(),
+            hits: counters.0,
+            misses: counters.1,
+            evictions: counters.2,
+            ..PoolStats::default()
+        };
+        for session in &sessions {
+            let s = lock_recover(session);
+            stats.bdd_nodes = stats.bdd_nodes.saturating_add(s.node_count());
+            stats.memo_entries = stats.memo_entries.saturating_add(s.memo_entries());
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_netlist::generate::{generate, GeneratorSpec};
+    use tm_netlist::library::lsi10k_like;
+
+    fn session(i: u64) -> PooledSession {
+        let lib = Arc::new(lsi10k_like());
+        let spec = GeneratorSpec::sized(format!("pool_{i}"), 6, 2, 12);
+        PooledSession::from_netlist(Arc::new(generate(&spec, lib)))
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_session() {
+        let pool = SessionPool::new(2);
+        let build = |i: u64| move || Ok(session(i));
+        pool.checkout(1, build(1)).expect("miss 1");
+        pool.checkout(2, build(2)).expect("miss 2");
+        pool.checkout(1, build(1)).expect("hit 1"); // 1 is now MRU
+        pool.checkout(3, build(3)).expect("miss 3: evicts 2");
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 1));
+        assert_eq!(stats.sessions, 2);
+        // 2 was the LRU victim; 1 must still be resident.
+        let mut built_again = false;
+        pool.checkout(1, || {
+            built_again = true;
+            Ok(session(1))
+        })
+        .expect("hit 1");
+        assert!(!built_again, "session 1 must have survived the eviction");
+    }
+
+    #[test]
+    fn cyclic_access_beyond_capacity_always_misses() {
+        // The classic LRU-thrash pattern the soak test pins exactly:
+        // rotating M > capacity circuits misses on every checkout and
+        // evicts on every checkout after the pool fills.
+        let pool = SessionPool::new(2);
+        let rounds = 5;
+        for r in 0..rounds {
+            for key in [10u64, 11, 12] {
+                pool.checkout(key, || Ok(session(key))).expect("checkout");
+                let _ = r;
+            }
+        }
+        let stats = pool.stats();
+        let requests = 3 * rounds as u64;
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, requests);
+        assert_eq!(stats.evictions, requests - 2, "all but the resident two were evicted");
+    }
+
+    #[test]
+    fn build_failure_counts_a_miss_but_inserts_nothing() {
+        let pool = SessionPool::new(2);
+        let err = pool.checkout(9, || Err(TmError::invalid_input("no outputs")));
+        assert!(err.is_err());
+        let stats = pool.stats();
+        assert_eq!((stats.sessions, stats.misses, stats.evictions), (0, 1, 0));
+    }
+}

@@ -1,0 +1,607 @@
+//! The request engine behind the daemon: verb dispatch, the session
+//! pool, request coalescing, the load/budget degradation ladder, and
+//! the shared telemetry aggregate (DESIGN.md §10).
+//!
+//! [`ServeCore`] is transport-free — [`ServeCore::handle_payload`]
+//! maps one request payload to the ordered list of response frames.
+//! The TCP layer in [`crate::net`] wraps it with framing, admission
+//! control, and the worker pool; the serving test battery drives it
+//! both ways (over real sockets, and in-process for the soak test).
+//!
+//! # The degradation ladder as load-shedding
+//!
+//! A request's engine rung is the *cheaper* of what the client asked
+//! for and what the current load allows: moderate occupancy forces
+//! node-based, heavy occupancy forces conservative, and a full
+//! admission gate rejects at accept time (`crate::net`). Within a
+//! request, a budget-exhausted rung falls to the next cheaper one; a
+//! request that exhausts even the conservative rung is rejected with a
+//! typed `exhausted` error and counted as shed. Nothing in the ladder
+//! blocks or panics.
+//!
+//! # Determinism
+//!
+//! Report frames carry no wall-clock fields (latency goes to the
+//! `serve.request_ns` histogram instead), so a request's frames are a
+//! pure function of (circuit, algorithm, ladder) — the
+//! concurrent-determinism suite compares them byte-for-byte against a
+//! serial [`tm_spcf::EngineSession`] run. Coalescing hands a waiting
+//! follower the leader's frames, which are the same bytes by the same
+//! argument.
+
+use crate::pool::{canonical_blif, fnv1a64, lock_recover, PoolStats, PooledSession, SessionPool};
+use crate::protocol::{error_frame, error_frame_for, Request};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tm_logic::Bdd;
+use tm_netlist::blif::parse_blif;
+use tm_netlist::library::{lsi10k_like, Library};
+use tm_netlist::{Delay, Netlist};
+use tm_resilience::{Budget, Gate, TmError};
+use tm_spcf::{Algorithm, SpcfSet};
+use tm_telemetry::Snapshot;
+use tm_testkit::json::Json;
+
+/// Serving configuration. `ServeConfig::default()` is sized for tests;
+/// the daemon derives load thresholds from `--workers` (see
+/// `ServeConfig::for_workers`).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Session-pool capacity (distinct circuits kept warm).
+    pub pool_capacity: usize,
+    /// Admission-gate capacity: connections in flight (queued or
+    /// served) before the acceptor sheds.
+    pub admit: usize,
+    /// Per-request computation budget.
+    pub budget: Budget,
+    /// Per-connection read timeout (a half-sent frame never wedges a
+    /// worker).
+    pub read_timeout: Duration,
+    /// Frame-length cap.
+    pub max_frame: u32,
+    /// In-flight count above which requests degrade to node-based.
+    pub degrade_node_based_at: usize,
+    /// In-flight count above which requests degrade to conservative.
+    pub degrade_conservative_at: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::for_workers(4)
+    }
+}
+
+impl ServeConfig {
+    /// A configuration scaled to `workers` threads: the gate admits
+    /// 4× workers, and the load ladder degrades at 2× (node-based) and
+    /// 3× (conservative) workers in flight.
+    pub fn for_workers(workers: usize) -> ServeConfig {
+        let workers = workers.max(1);
+        ServeConfig {
+            workers,
+            pool_capacity: 8,
+            admit: 4 * workers,
+            budget: Budget::unlimited(),
+            read_timeout: Duration::from_secs(5),
+            max_frame: crate::protocol::DEFAULT_MAX_FRAME,
+            degrade_node_based_at: 2 * workers,
+            degrade_conservative_at: 3 * workers,
+        }
+    }
+}
+
+/// A coalescing slot: the leader fills `frames` and notifies; followers
+/// wait (bounded) and reuse the bytes.
+struct Flight {
+    frames: Mutex<Option<Arc<Vec<String>>>>,
+    ready: Condvar,
+}
+
+/// How long a coalesced follower waits for its leader before computing
+/// independently — a liveness backstop, not an expected path.
+const COALESCE_WAIT: Duration = Duration::from_secs(30);
+
+/// The transport-free serving engine (see module docs).
+pub struct ServeCore {
+    config: ServeConfig,
+    library: Arc<Library>,
+    pool: SessionPool,
+    gate: Arc<Gate>,
+    aggregate: Mutex<Snapshot>,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+impl ServeCore {
+    /// Builds a core for `config`, mapping submissions onto the
+    /// paper's LSI-10K-like library.
+    pub fn new(config: ServeConfig) -> ServeCore {
+        ServeCore {
+            config,
+            library: Arc::new(lsi10k_like()),
+            pool: SessionPool::new(config.pool_capacity),
+            gate: Arc::new(Gate::new(config.admit.max(1))),
+            aggregate: Mutex::new(Snapshot::default()),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration this core runs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The admission gate (shared with the acceptor).
+    pub fn gate(&self) -> &Arc<Gate> {
+        &self.gate
+    }
+
+    /// The session pool (the soak test reads its stats directly).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Drains the calling thread's telemetry registry into the shared
+    /// aggregate. Workers call this after every connection; anything
+    /// recorded on a thread that never folds is invisible to `stats`.
+    pub fn fold_local_telemetry(&self) {
+        let local = tm_telemetry::drain();
+        if !local.is_empty() {
+            lock_recover(&self.aggregate).merge(&local);
+        }
+    }
+
+    /// Handles one request payload, returning response frames in
+    /// stream order. Never panics on adversarial input; internal
+    /// errors become typed `error` frames.
+    pub fn handle_payload(&self, payload: &[u8]) -> Vec<String> {
+        let _span = tm_telemetry::span!("serve.request");
+        let start = Instant::now();
+        let frames = match Request::parse(payload) {
+            Err(e) => {
+                tm_telemetry::counter_add("serve.errors", 1);
+                vec![error_frame_for(&e)]
+            }
+            Ok(request) => {
+                tm_telemetry::counter_add("serve.requests", 1);
+                match request {
+                    Request::Stats => vec![self.stats_frame()],
+                    Request::Mask { blif } => self.handle_mask(&blif),
+                    Request::Spcf { blif, algorithm, targets, relative } => {
+                        self.handle_spcf(&blif, algorithm, &targets, relative)
+                    }
+                }
+            }
+        };
+        tm_telemetry::histogram_record("serve.request_ns", start.elapsed().as_nanos() as f64);
+        frames
+    }
+
+    fn handle_spcf(
+        &self,
+        blif: &str,
+        algorithm: Algorithm,
+        targets: &[f64],
+        relative: bool,
+    ) -> Vec<String> {
+        let sop = match parse_blif(blif) {
+            Ok(sop) => sop,
+            Err(e) => {
+                tm_telemetry::counter_add("serve.errors", 1);
+                return vec![error_frame_for(&TmError::parse(e.line(), e.to_string()))];
+            }
+        };
+        let canonical = canonical_blif(&sop);
+        let circuit_key = fnv1a64(canonical.as_bytes());
+        // Identical concurrent requests ride one computation: key the
+        // flight by everything that shapes the response bytes.
+        let mut flight_bytes = canonical.into_bytes();
+        flight_bytes.extend_from_slice(algorithm.to_string().as_bytes());
+        flight_bytes.push(relative as u8);
+        for t in targets {
+            flight_bytes.extend_from_slice(&t.to_bits().to_be_bytes());
+        }
+        let flight_key = fnv1a64(&flight_bytes);
+
+        let (flight, leader) = {
+            let mut map = lock_recover(&self.inflight);
+            match map.get(&flight_key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        frames: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    map.insert(flight_key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let frames =
+                Arc::new(self.compute_spcf_frames(&sop, circuit_key, algorithm, targets, relative));
+            *lock_recover(&flight.frames) = Some(Arc::clone(&frames));
+            flight.ready.notify_all();
+            lock_recover(&self.inflight).remove(&flight_key);
+            return frames.as_ref().clone();
+        }
+        tm_telemetry::counter_add("serve.coalesced", 1);
+        let deadline = Instant::now() + COALESCE_WAIT;
+        let mut guard = lock_recover(&flight.frames);
+        loop {
+            if let Some(frames) = guard.as_ref() {
+                return frames.as_ref().clone();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _timeout) = flight
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard = g;
+        }
+        drop(guard);
+        // Leader vanished (wedged or killed): compute independently.
+        self.compute_spcf_frames(&sop, circuit_key, algorithm, targets, relative)
+    }
+
+    fn compute_spcf_frames(
+        &self,
+        sop: &tm_netlist::SopNetwork,
+        circuit_key: u64,
+        requested: Algorithm,
+        targets: &[f64],
+        relative: bool,
+    ) -> Vec<String> {
+        let entry = match self
+            .pool
+            .checkout(circuit_key, || PooledSession::build(sop, Arc::clone(&self.library)))
+        {
+            Ok(entry) => entry,
+            Err(e) => {
+                tm_telemetry::counter_add("serve.errors", 1);
+                return vec![error_frame_for(&e)];
+            }
+        };
+        let mut session = lock_recover(&entry);
+
+        // Load rung: the cheaper of the request and what occupancy
+        // allows right now.
+        let inflight = self.gate.in_flight();
+        let algorithm = if inflight > self.config.degrade_conservative_at {
+            degrade_to(requested, Algorithm::Conservative, true)
+        } else if inflight > self.config.degrade_node_based_at {
+            degrade_to(requested, Algorithm::NodeBased, true)
+        } else {
+            requested
+        };
+
+        let delta = session.delta();
+        let mut frames = Vec::with_capacity(targets.len() + 1);
+        for (seq, &raw) in targets.iter().enumerate() {
+            let target = if relative { delta * raw } else { Delay::new(raw) };
+            let mut rung = algorithm;
+            let outcome = loop {
+                match session.compute(rung, target, self.config.budget) {
+                    Ok(set) => break Ok(set),
+                    Err(e) => match next_rung(rung) {
+                        Some(next) => {
+                            rung = degrade_to(rung, next, true);
+                        }
+                        None => break Err(e),
+                    },
+                }
+            };
+            match outcome {
+                Ok(set) => {
+                    frames.push(spcf_report_frame(session.netlist(), session.bdd(), &set, seq))
+                }
+                Err(e) => {
+                    // Even the guard-everything rung exhausted: typed
+                    // reject, counted as shed load.
+                    tm_telemetry::counter_add("serve.shed", 1);
+                    tm_telemetry::counter_add("serve.errors", 1);
+                    frames.push(error_frame("exhausted", e.to_string()));
+                    return frames;
+                }
+            }
+        }
+        frames.push(done_frame(targets.len()));
+        frames
+    }
+
+    fn handle_mask(&self, blif: &str) -> Vec<String> {
+        let sop = match parse_blif(blif) {
+            Ok(sop) => sop,
+            Err(e) => {
+                tm_telemetry::counter_add("serve.errors", 1);
+                return vec![error_frame_for(&TmError::parse(e.line(), e.to_string()))];
+            }
+        };
+        if sop.outputs().is_empty() || sop.inputs().is_empty() {
+            tm_telemetry::counter_add("serve.errors", 1);
+            return vec![error_frame("invalid", "circuit has no primary inputs or outputs")];
+        }
+        let netlist = tm_netlist::map::tech_map(
+            &sop,
+            Arc::clone(&self.library),
+            tm_netlist::map::MapOptions::default(),
+        );
+        let options = tm_masking::MaskingOptions {
+            budget: self.config.budget,
+            ..tm_masking::MaskingOptions::default()
+        };
+        let mut result = tm_masking::synthesize(&netlist, options);
+        let verification = tm_masking::verify(&mut result);
+        let r = &result.report;
+        vec![Json::obj([
+            ("type", Json::str("mask_report")),
+            ("circuit", Json::str(r.circuit.clone())),
+            ("critical_outputs", Json::Num(r.critical_outputs as f64)),
+            ("num_outputs", Json::Num(r.num_outputs as f64)),
+            ("critical_patterns", Json::Num(r.critical_patterns)),
+            ("slack_percent", Json::Num(r.slack_percent)),
+            ("area_overhead_percent", Json::Num(r.area_overhead_percent)),
+            ("power_overhead_percent", Json::Num(r.power_overhead_percent)),
+            ("degradation", Json::str(r.degradation.to_string())),
+            ("coverage", Json::Num(verification.coverage())),
+            ("verified", Json::Bool(verification.all_ok())),
+        ])
+        .render()]
+    }
+
+    /// Renders the `stats` frame: the folded telemetry aggregate (plus
+    /// this thread's not-yet-folded registry) and pool statistics.
+    pub fn stats_frame(&self) -> String {
+        let pool = self.pool.stats();
+        let mut snap = {
+            let mut agg = lock_recover(&self.aggregate);
+            let local = tm_telemetry::drain();
+            agg.merge(&local);
+            agg.clone()
+        };
+        let mut live = Snapshot::default();
+        live.gauges.push(("serve.pool.sessions".to_string(), pool.sessions as f64));
+        snap.merge(&live);
+        Json::obj([
+            ("type", Json::str("stats")),
+            ("metrics", snap.to_json()),
+            (
+                "pool",
+                Json::obj([
+                    ("sessions", Json::Num(pool.sessions as f64)),
+                    ("hits", Json::Num(pool.hits as f64)),
+                    ("misses", Json::Num(pool.misses as f64)),
+                    ("evictions", Json::Num(pool.evictions as f64)),
+                    ("bdd_nodes", Json::Num(pool.bdd_nodes as f64)),
+                    ("memo_entries", Json::Num(pool.memo_entries as f64)),
+                ]),
+            ),
+            ("inflight", Json::Num(self.gate.in_flight() as f64)),
+        ])
+        .render()
+    }
+}
+
+/// The degradation rank of an algorithm: exact engines (0) degrade to
+/// node-based (1) and then conservative (2).
+fn rank(algorithm: Algorithm) -> u8 {
+    match algorithm {
+        Algorithm::ShortPath | Algorithm::PathBased => 0,
+        Algorithm::NodeBased => 1,
+        Algorithm::Conservative => 2,
+    }
+}
+
+/// The next cheaper rung, or `None` from the guard-everything floor.
+fn next_rung(algorithm: Algorithm) -> Option<Algorithm> {
+    match rank(algorithm) {
+        0 => Some(Algorithm::NodeBased),
+        1 => Some(Algorithm::Conservative),
+        _ => None,
+    }
+}
+
+/// Degrades `from` to at least `floor`, counting the step when it is a
+/// real downgrade and `count` is set.
+fn degrade_to(from: Algorithm, floor: Algorithm, count: bool) -> Algorithm {
+    if rank(from) >= rank(floor) {
+        return from;
+    }
+    if count {
+        match floor {
+            Algorithm::NodeBased => tm_telemetry::counter_add("serve.degrade.node_based", 1),
+            Algorithm::Conservative => tm_telemetry::counter_add("serve.degrade.conservative", 1),
+            _ => {}
+        }
+    }
+    floor
+}
+
+/// Renders one ladder point's `report` frame. Deliberately excludes
+/// wall-clock fields: these bytes must be identical for identical
+/// (circuit, algorithm, target) regardless of worker count, pool size,
+/// or manager warmth — the property the concurrent-determinism suite
+/// pins against a serial [`tm_spcf::EngineSession`] run.
+pub fn spcf_report_frame(netlist: &Netlist, bdd: &Bdd, set: &SpcfSet, seq: usize) -> String {
+    let outputs = set
+        .outputs
+        .iter()
+        .map(|o| {
+            Json::obj([
+                ("name", Json::str(netlist.net_name(o.output))),
+                ("patterns", Json::Num(bdd.sat_count(o.spcf))),
+                ("fraction", Json::Num(bdd.sat_fraction(o.spcf))),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("type", Json::str("report")),
+        ("seq", Json::Num(seq as f64)),
+        ("algorithm", Json::str(set.algorithm.to_string())),
+        ("target", Json::Num(set.target.units())),
+        ("critical_outputs", Json::Num(set.outputs.len() as f64)),
+        ("critical_patterns", Json::Num(set.critical_pattern_count(bdd))),
+        ("outputs", Json::Arr(outputs)),
+    ])
+    .render()
+}
+
+/// Renders the `done` frame terminating a successful `spcf` ladder.
+pub fn done_frame(points: usize) -> String {
+    Json::obj([("type", Json::str("done")), ("points", Json::Num(points as f64))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_blif() -> String {
+        ".model tiny\n.inputs a b c\n.outputs y\n.names a b n1\n11 1\n.names n1 c y\n10 1\n01 1\n.end\n".to_string()
+    }
+
+    fn spcf_request(blif: &str, algorithm: &str, targets: &str) -> String {
+        format!(
+            r#"{{"verb":"spcf","blif":{},"algorithm":"{algorithm}","targets":{targets},"relative":true}}"#,
+            Json::str(blif).render()
+        )
+    }
+
+    #[test]
+    fn spcf_request_streams_reports_then_done() {
+        let _scope = tm_telemetry::Scope::enter();
+        let core = ServeCore::new(ServeConfig::default());
+        let frames =
+            core.handle_payload(spcf_request(&tiny_blif(), "short-path", "[0.95,0.5]").as_bytes());
+        assert_eq!(frames.len(), 3, "{frames:?}");
+        for (i, f) in frames[..2].iter().enumerate() {
+            let j = Json::parse(f).expect("report parses");
+            assert_eq!(j.get("type").and_then(Json::as_str), Some("report"));
+            assert_eq!(j.get("seq").and_then(Json::as_num), Some(i as f64));
+        }
+        let done = Json::parse(&frames[2]).expect("done parses");
+        assert_eq!(done.get("type").and_then(Json::as_str), Some("done"));
+        assert_eq!(done.get("points").and_then(Json::as_num), Some(2.0));
+    }
+
+    #[test]
+    fn repeated_circuit_hits_the_pool() {
+        let _scope = tm_telemetry::Scope::enter();
+        let core = ServeCore::new(ServeConfig::default());
+        let req = spcf_request(&tiny_blif(), "short-path", "[0.9]");
+        core.handle_payload(req.as_bytes());
+        core.handle_payload(req.as_bytes());
+        // Same circuit with cosmetic differences still shares a session.
+        let cosmetic = tiny_blif().replace(".model tiny", ".model tiny \\\n");
+        core.handle_payload(spcf_request(&cosmetic, "node-based", "[0.9]").as_bytes());
+        let stats = core.pool_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+    }
+
+    #[test]
+    fn budget_exhaustion_walks_the_ladder_down() {
+        let _scope = tm_telemetry::Scope::enter();
+        let mut config = ServeConfig::default();
+        // One recursion step is too tight for the exact and node-based
+        // engines on a circuit whose SPCF ops miss the caches warmed
+        // at session build; the conservative rung does no budgeted
+        // work at all and always lands.
+        config.budget = Budget::unlimited().with_max_steps(1);
+        let core = ServeCore::new(config);
+        let blif = crate::gen::synthetic_blif(7, 12, 40);
+        let frames =
+            core.handle_payload(spcf_request(&blif, "short-path", "[0.5]").as_bytes());
+        let report = Json::parse(&frames[0]).expect("report");
+        assert_eq!(report.get("type").and_then(Json::as_str), Some("report"));
+        assert_eq!(
+            report.get("algorithm").and_then(Json::as_str),
+            Some("conservative"),
+            "tight budget must degrade to the guard-everything rung: {frames:?}"
+        );
+        let snap = tm_telemetry::snapshot();
+        assert!(snap.counter("serve.degrade.node_based").unwrap_or(0) >= 1);
+        assert!(snap.counter("serve.degrade.conservative").unwrap_or(0) >= 1);
+        assert_eq!(snap.counter("serve.shed"), None, "degraded, not rejected");
+    }
+
+    #[test]
+    fn stats_frame_reports_schema_valid_metrics() {
+        let _scope = tm_telemetry::Scope::enter();
+        let core = ServeCore::new(ServeConfig::default());
+        core.handle_payload(spcf_request(&tiny_blif(), "short-path", "[0.9]").as_bytes());
+        let stats = core.handle_payload(br#"{"verb":"stats"}"#);
+        assert_eq!(stats.len(), 1);
+        let j = Json::parse(&stats[0]).expect("stats parses");
+        assert_eq!(j.get("type").and_then(Json::as_str), Some("stats"));
+        let metrics = j.get("metrics").expect("metrics");
+        tm_telemetry::schema::validate(metrics).expect("schema-valid");
+        let counters = metrics.get("counters").and_then(Json::as_arr).expect("counters");
+        let requests = counters
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some("serve.requests"))
+            .and_then(|c| c.get("value").and_then(Json::as_num));
+        assert_eq!(requests, Some(2.0), "spcf + stats both counted");
+        assert!(j.get("pool").and_then(|p| p.get("sessions")).is_some());
+    }
+
+    #[test]
+    fn mask_verb_returns_a_verified_report() {
+        let _scope = tm_telemetry::Scope::enter();
+        let core = ServeCore::new(ServeConfig::default());
+        let req = format!(r#"{{"verb":"mask","blif":{}}}"#, Json::str(tiny_blif()).render());
+        let frames = core.handle_payload(req.as_bytes());
+        assert_eq!(frames.len(), 1);
+        let j = Json::parse(&frames[0]).expect("mask report parses");
+        assert_eq!(j.get("type").and_then(Json::as_str), Some("mask_report"));
+        assert_eq!(j.get("verified"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("coverage").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn unsorted_ladder_matches_pointwise_cold_runs() {
+        // The server-path half of the ascending-ladder fix: a warm
+        // pooled session fed an unsorted ladder must produce the same
+        // frames as a cold core seeing each target in isolation.
+        let _scope = tm_telemetry::Scope::enter();
+        let warm = ServeCore::new(ServeConfig::default());
+        let ladder = [0.9, 0.95, 0.5, 0.85, 0.45];
+        for algorithm in ["short-path", "path-based", "node-based"] {
+            let ladder_json = format!(
+                "[{}]",
+                ladder.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+            );
+            let frames = warm
+                .handle_payload(spcf_request(&tiny_blif(), algorithm, &ladder_json).as_bytes());
+            for (i, &point) in ladder.iter().enumerate() {
+                let cold = ServeCore::new(ServeConfig::default());
+                let cold_frames = cold.handle_payload(
+                    spcf_request(&tiny_blif(), algorithm, &format!("[{point}]")).as_bytes(),
+                );
+                let mut warm_j = Json::parse(&frames[i]).expect("warm frame");
+                let cold_j = Json::parse(&cold_frames[0]).expect("cold frame");
+                // Only `seq` may differ (position in the ladder).
+                if let Json::Obj(members) = &mut warm_j {
+                    for (k, v) in members.iter_mut() {
+                        if k == "seq" {
+                            *v = Json::Num(0.0);
+                        }
+                    }
+                }
+                assert_eq!(
+                    warm_j.render(),
+                    cold_j.render(),
+                    "{algorithm}@{point}: warm frame diverged from cold"
+                );
+            }
+        }
+        let snap = tm_telemetry::snapshot();
+        assert!(
+            snap.counter("spcf.session.rebuilds").unwrap_or(0) >= 1,
+            "the ascending steps must have rebuilt engines"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Seeded mutation fuzzing of the wire protocol over real TCP.
+//!
+//! 640 rounds of adversarial framing and payloads — truncated length
+//! prefixes, oversized declared lengths, zero-length frames, garbage
+//! bytes, byte-flipped valid requests, garbage BLIF inside valid JSON,
+//! mid-frame disconnects, and silent stalls — against a live server.
+//! The contract under attack:
+//!
+//! - every response frame is valid UTF-8 JSON;
+//! - every error response carries a typed code, and the code is never
+//!   `internal` — `internal` is the panic-containment frame, so its
+//!   absence across the whole run is the no-panic proof;
+//! - the server survives all of it: a final well-formed request on a
+//!   fresh connection still gets a correct answer.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use tm_server::gen::synthetic_blif;
+use tm_server::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use tm_server::serve::{ServeConfig, ServeCore};
+use tm_testkit::json::Json;
+use tm_testkit::rng::Rng;
+
+const ROUNDS: usize = 640;
+
+fn valid_corpus() -> Vec<String> {
+    let blif = synthetic_blif(0xF22, 6, 10);
+    vec![
+        Json::obj([
+            ("verb", Json::str("spcf")),
+            ("blif", Json::str(blif.clone())),
+            ("algorithm", Json::str("short-path")),
+            ("targets", Json::Arr(vec![Json::Num(0.9)])),
+            ("relative", Json::Bool(true)),
+        ])
+        .render(),
+        Json::obj([("verb", Json::str("mask")), ("blif", Json::str(blif))]).render(),
+        r#"{"verb":"stats"}"#.to_string(),
+    ]
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    stream
+}
+
+/// Reads whatever responses the server sends until it closes or a
+/// terminal frame arrives; panics on any contract violation.
+fn drain_responses(stream: &mut TcpStream, context: &str) -> usize {
+    let mut count = 0;
+    loop {
+        let raw = match read_frame(stream, DEFAULT_MAX_FRAME) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return count,
+            Err(_) => return count, // server closed on us — allowed
+        };
+        let text = String::from_utf8(raw)
+            .unwrap_or_else(|_| panic!("{context}: response frame is not UTF-8"));
+        let json = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{context}: response is not JSON ({e}): {text}"));
+        count += 1;
+        match json.get("type").and_then(Json::as_str) {
+            Some("error") => {
+                let code = json.get("code").and_then(Json::as_str).unwrap_or("");
+                assert!(
+                    !code.is_empty(),
+                    "{context}: error frame without a typed code: {text}"
+                );
+                assert_ne!(
+                    code, "internal",
+                    "{context}: request handling panicked server-side: {text}"
+                );
+                return count;
+            }
+            Some("done") | Some("stats") | Some("mask_report") => return count,
+            Some("report") => {}
+            other => panic!("{context}: unknown frame type {other:?}: {text}"),
+        }
+    }
+}
+
+#[test]
+fn mutated_frames_never_panic_the_server() {
+    let mut config = ServeConfig::for_workers(2);
+    config.admit = 64;
+    // A stalled round must cost milliseconds, not the default seconds.
+    config.read_timeout = Duration::from_millis(50);
+    let core = Arc::new(ServeCore::new(config));
+    let handle = tm_server::net::serve(Arc::clone(&core), "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    let corpus = valid_corpus();
+    let mut rng = Rng::seed_from_u64(0xF0_22_51);
+    for round in 0..ROUNDS {
+        let context = format!("round {round}");
+        match rng.gen_range(0..10u32) {
+            // Well-formed request (control group — must answer).
+            0 => {
+                let payload = rng.choose(&corpus).expect("corpus");
+                let mut s = connect(addr);
+                write_frame(&mut s, payload.as_bytes()).expect("write");
+                assert!(drain_responses(&mut s, &context) > 0, "{context}: no answer");
+            }
+            // Truncated length prefix, then disconnect.
+            1 => {
+                let mut s = connect(addr);
+                let n = rng.gen_range(1..4usize);
+                let _ = s.write_all(&[0u8, 0, 1][..n]);
+            }
+            // Oversized declared length.
+            2 => {
+                let declared = DEFAULT_MAX_FRAME + 1 + (rng.next_u64() as u32 % 1_000_000);
+                let mut s = connect(addr);
+                s.write_all(&declared.to_be_bytes()).expect("write prefix");
+                drain_responses(&mut s, &context);
+            }
+            // Zero-length frame: typed protocol error, connection
+            // stays usable for a follow-up request.
+            3 => {
+                let mut s = connect(addr);
+                s.write_all(&0u32.to_be_bytes()).expect("write prefix");
+                assert!(drain_responses(&mut s, &context) > 0, "{context}: no typed reject");
+                let payload = &corpus[2]; // stats
+                write_frame(&mut s, payload.as_bytes()).expect("write follow-up");
+                assert!(drain_responses(&mut s, &context) > 0, "{context}: connection died");
+            }
+            // Garbage bytes in a well-framed payload.
+            4 => {
+                let len = rng.gen_range(1..200usize);
+                let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                let mut s = connect(addr);
+                write_frame(&mut s, &garbage).expect("write");
+                assert!(drain_responses(&mut s, &context) > 0, "{context}: no typed reject");
+            }
+            // Byte-flipped valid payload (may parse, may not — but
+            // must answer something typed).
+            5 => {
+                let mut payload = rng.choose(&corpus).expect("corpus").clone().into_bytes();
+                for _ in 0..rng.gen_range(1..8usize) {
+                    let k = rng.gen_range(0..payload.len());
+                    payload[k] ^= 1 << rng.gen_range(0..8u32);
+                }
+                let mut s = connect(addr);
+                write_frame(&mut s, &payload).expect("write");
+                drain_responses(&mut s, &context);
+            }
+            // Valid JSON, garbage BLIF.
+            6 => {
+                let len = rng.gen_range(0..120usize);
+                let junk: String =
+                    (0..len).map(|_| (b' ' + (rng.next_u64() % 90) as u8) as char).collect();
+                let payload = Json::obj([
+                    ("verb", Json::str("spcf")),
+                    ("blif", Json::str(junk)),
+                    ("targets", Json::Arr(vec![Json::Num(0.9)])),
+                ])
+                .render();
+                let mut s = connect(addr);
+                write_frame(&mut s, payload.as_bytes()).expect("write");
+                assert!(drain_responses(&mut s, &context) > 0, "{context}: no typed reject");
+            }
+            // Valid JSON, hostile request fields.
+            7 => {
+                let payload = match rng.gen_range(0..5u32) {
+                    0 => r#"{"verb":"warp"}"#.to_string(),
+                    1 => r#"{"blif":".model x\n.end\n"}"#.to_string(),
+                    2 => r#"{"verb":"spcf","blif":".model x\n.end\n","targets":[]}"#.to_string(),
+                    3 => format!(
+                        r#"{{"verb":"spcf","blif":".model x\n.end\n","targets":[{}]}}"#,
+                        vec!["0.5"; 65].join(",")
+                    ),
+                    _ => r#"{"verb":"spcf","blif":".model x\n.end\n","targets":[-1.0]}"#
+                        .to_string(),
+                };
+                let mut s = connect(addr);
+                write_frame(&mut s, payload.as_bytes()).expect("write");
+                assert!(drain_responses(&mut s, &context) > 0, "{context}: no typed reject");
+            }
+            // Mid-frame disconnect: declare N bytes, send fewer, drop.
+            8 => {
+                let payload = rng.choose(&corpus).expect("corpus").as_bytes();
+                let keep = rng.gen_range(0..payload.len());
+                let mut s = connect(addr);
+                let _ = s.write_all(&(payload.len() as u32).to_be_bytes());
+                let _ = s.write_all(&payload[..keep]);
+            }
+            // Silent stall mid-frame: the read timeout must fire and
+            // answer with a typed timeout frame.
+            _ => {
+                let mut s = connect(addr);
+                let _ = s.write_all(&64u32.to_be_bytes());
+                let _ = s.write_all(b"{\"verb\":");
+                let mut buf = Vec::new();
+                let _ = s.read_to_end(&mut buf); // until server closes
+                if !buf.is_empty() {
+                    // Strip the length prefix and check the typed code.
+                    assert!(buf.len() > 4, "{context}: partial frame in timeout reply");
+                    let text = String::from_utf8(buf[4..].to_vec())
+                        .unwrap_or_else(|_| panic!("{context}: non-UTF-8 timeout reply"));
+                    let json = Json::parse(&text)
+                        .unwrap_or_else(|e| panic!("{context}: bad timeout reply ({e})"));
+                    assert_eq!(json.get("code").and_then(Json::as_str), Some("timeout"));
+                }
+            }
+        }
+    }
+
+    // The server must have survived the entire barrage.
+    let mut s = connect(addr);
+    write_frame(&mut s, corpus[0].as_bytes()).expect("write final request");
+    assert!(drain_responses(&mut s, "final request") >= 2, "server wedged after fuzzing");
+    let stats = core.stats_frame();
+    let json = Json::parse(&stats).expect("stats parses");
+    tm_telemetry::schema::validate(json.get("metrics").expect("metrics"))
+        .expect("post-fuzz metrics are schema-valid");
+    handle.shutdown();
+}

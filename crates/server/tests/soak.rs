@@ -1,0 +1,111 @@
+//! Long-haul serving soak (`TM_SOAK=1 cargo test -p tm-server --test
+//! soak -- --ignored --nocapture` equivalent; the gate is the env var).
+//!
+//! Two phases against the in-process [`ServeCore`] (no sockets — the
+//! TCP layer has its own battery; here the resource under test is the
+//! pool's memory discipline over ~10k requests):
+//!
+//! 1. **Flat-memory**: rotating a circuit set that *fits* the pool,
+//!    total BDD node count and engine memo entries must be exactly flat
+//!    after warm-up — any drift is a leak the LRU cannot save us from,
+//!    because it compounds per request, not per circuit. Evictions must
+//!    be exactly zero.
+//! 2. **Eviction-exactness**: rotating more circuits than capacity in
+//!    cyclic order is the LRU worst case — every checkout must miss,
+//!    and evictions must equal `requests - capacity` exactly.
+
+use tm_server::gen::synthetic_blif;
+use tm_server::serve::{ServeConfig, ServeCore};
+use tm_testkit::json::Json;
+
+fn spcf_payload(blif: &str, algorithm: &str) -> String {
+    Json::obj([
+        ("verb", Json::str("spcf")),
+        ("blif", Json::str(blif)),
+        ("algorithm", Json::str(algorithm)),
+        ("targets", Json::Arr(vec![Json::Num(0.95), Json::Num(0.9)])),
+        ("relative", Json::Bool(true)),
+    ])
+    .render()
+}
+
+fn soak_enabled() -> bool {
+    std::env::var("TM_SOAK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[test]
+fn pool_memory_stays_flat_and_evictions_are_exact() {
+    if !soak_enabled() {
+        eprintln!("soak: skipped (set TM_SOAK=1 to run)");
+        return;
+    }
+    let _scope = tm_telemetry::Scope::enter();
+
+    // Phase 1: working set fits the pool -> memory must be flat.
+    let mut config = ServeConfig::default();
+    config.pool_capacity = 4;
+    let core = ServeCore::new(config);
+    let circuits: Vec<String> =
+        (0..4u64).map(|i| synthetic_blif(0x50AC + i, 7, 14)).collect();
+    let algorithms = ["short-path", "node-based"];
+
+    let warmup = 64usize;
+    let total = 9_700usize;
+    for k in 0..warmup {
+        let payload = spcf_payload(&circuits[k % circuits.len()], algorithms[k % 2]);
+        let frames = core.handle_payload(payload.as_bytes());
+        assert!(frames.last().is_some_and(|f| f.contains("\"type\":\"done\"")), "{frames:?}");
+    }
+    let warm = core.pool_stats();
+    assert_eq!(warm.sessions, 4, "working set must be fully resident");
+
+    for k in warmup..total {
+        let payload = spcf_payload(&circuits[k % circuits.len()], algorithms[k % 2]);
+        let frames = core.handle_payload(payload.as_bytes());
+        assert!(frames.last().is_some_and(|f| f.contains("\"type\":\"done\"")), "{frames:?}");
+        if k % 1000 == 0 {
+            let now = core.pool_stats();
+            assert_eq!(
+                (now.bdd_nodes, now.memo_entries),
+                (warm.bdd_nodes, warm.memo_entries),
+                "request {k}: pool memory drifted after warm-up"
+            );
+        }
+    }
+    let end = core.pool_stats();
+    assert_eq!(end.bdd_nodes, warm.bdd_nodes, "BDD nodes grew across {total} requests");
+    assert_eq!(end.memo_entries, warm.memo_entries, "memo entries grew across {total} requests");
+    assert_eq!(end.evictions, 0, "a resident working set must never evict");
+    assert_eq!(end.misses, 4, "each circuit builds exactly once");
+    assert_eq!(end.hits, total as u64 - 4);
+
+    let snap = tm_telemetry::snapshot();
+    assert_eq!(snap.counter("serve.requests"), Some(total as u64));
+    assert_eq!(snap.counter("serve.pool.evictions"), None, "no evictions may be counted");
+    tm_telemetry::reset();
+
+    // Phase 2: cyclic rotation beyond capacity -> the LRU worst case,
+    // pinned exactly.
+    let mut config = ServeConfig::default();
+    config.pool_capacity = 2;
+    let core = ServeCore::new(config);
+    let rotating: Vec<String> =
+        (0..3u64).map(|i| synthetic_blif(0xEE7 + i, 7, 14)).collect();
+    let requests = 300usize;
+    for k in 0..requests {
+        let payload = spcf_payload(&rotating[k % rotating.len()], "short-path");
+        let frames = core.handle_payload(payload.as_bytes());
+        assert!(frames.last().is_some_and(|f| f.contains("\"type\":\"done\"")), "{frames:?}");
+    }
+    let stats = core.pool_stats();
+    assert_eq!(stats.hits, 0, "cyclic rotation beyond capacity can never hit");
+    assert_eq!(stats.misses, requests as u64);
+    assert_eq!(
+        stats.evictions,
+        requests as u64 - 2,
+        "every miss after the pool fills must evict exactly once"
+    );
+    let snap = tm_telemetry::snapshot();
+    assert_eq!(snap.counter("serve.pool.evictions"), Some(requests as u64 - 2));
+    assert_eq!(snap.counter("serve.pool.misses"), Some(requests as u64));
+}

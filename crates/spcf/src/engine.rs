@@ -162,8 +162,10 @@ pub trait SpcfEngine {
     }
 }
 
-/// A fresh engine for `algorithm`.
-pub fn engine_for(algorithm: Algorithm) -> Box<dyn SpcfEngine> {
+/// A fresh engine for `algorithm`. The box is `Send` so long-lived
+/// holders (the serving layer's session pool) can migrate between
+/// worker threads — every engine is plain owned data.
+pub fn engine_for(algorithm: Algorithm) -> Box<dyn SpcfEngine + Send> {
     match algorithm {
         Algorithm::ShortPath => Box::new(crate::short_path::ShortPathEngine::default()),
         Algorithm::PathBased => Box::new(crate::path_based::PathBasedEngine::default()),
@@ -371,10 +373,11 @@ pub struct WarmSession<'n, 'c> {
     bdd: &'c mut Bdd,
     budget: Budget,
     prev_budget: Budget,
-    engine: Box<dyn SpcfEngine>,
+    engine: Box<dyn SpcfEngine + Send>,
     primes: GatePrimes,
     globals: LazyGlobals,
     retargets: u64,
+    last_target: Option<Delay>,
 }
 
 impl<'n, 'c> WarmSession<'n, 'c> {
@@ -407,6 +410,7 @@ impl<'n, 'c> WarmSession<'n, 'c> {
             primes: GatePrimes::new(),
             globals: LazyGlobals::new(netlist),
             retargets: 0,
+            last_target: None,
         }
     }
 
@@ -431,8 +435,18 @@ impl<'n, 'c> WarmSession<'n, 'c> {
     ///
     /// Any call order is correct; a *descending* ladder is fastest for
     /// the exact engines (each tightening extends, rather than
-    /// replaces, the work of the previous point).
+    /// replaces, the work of the previous point). An *ascending* step
+    /// (target above the previous point) is outside the monotonic-reuse
+    /// contract the engines' `retarget` fast paths were written for, so
+    /// the session rebuilds the engine from scratch rather than trusting
+    /// every engine's prepared state to be target-independent — the warm
+    /// manager, gate primes and global functions are shared across the
+    /// rebuild, so the cost is bounded by one cold `prepare`.
     pub fn try_retarget(&mut self, target: Delay) -> Result<SpcfSet, Exhausted> {
+        if self.last_target.is_some_and(|prev| target > prev) {
+            self.rebuild_engine();
+        }
+        self.last_target = Some(target);
         let _span = tm_telemetry::span::enter(span_name(self.engine.algorithm()));
         tm_telemetry::counter_add("spcf.session.retargets", 1);
         self.retargets += 1;
@@ -475,6 +489,26 @@ impl<'n, 'c> WarmSession<'n, 'c> {
     /// Number of targets evaluated so far.
     pub fn retargets(&self) -> u64 {
         self.retargets
+    }
+
+    /// Replaces the engine with a fresh one of the same algorithm,
+    /// publishing the outgoing engine's lifetime counters first (each
+    /// engine instance publishes exactly once — here, or at `Drop`).
+    fn rebuild_engine(&mut self) {
+        tm_telemetry::counter_add("spcf.session.rebuilds", 1);
+        let algorithm = self.engine.algorithm();
+        let WarmSession { netlist, sta, bdd, budget, engine, primes, globals, .. } = self;
+        let mut cx = EngineCx {
+            netlist,
+            sta,
+            target: Delay::ZERO,
+            budget: *budget,
+            bdd,
+            primes,
+            globals,
+        };
+        engine.publish_metrics(&mut cx);
+        *engine = engine_for(algorithm);
     }
 }
 

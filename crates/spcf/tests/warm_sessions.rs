@@ -122,6 +122,59 @@ fn descending_ladder_is_monotone() {
     }
 }
 
+/// Regression for the ascending-step hazard: the engines' `retarget`
+/// fast paths assume a *descending* ladder (memoized answers only gain
+/// stabilization queries as the target tightens), and historically the
+/// session trusted the caller to sort. An unsorted ladder silently
+/// violated that contract. The session now detects an ascending step
+/// and rebuilds the engine, so any call order must match cold runs bit
+/// for bit — pinned here for every engine on an adversarially shuffled
+/// ladder that ascends, descends, and revisits.
+#[test]
+fn unsorted_ladder_matches_cold_runs_bit_for_bit() {
+    let unsorted = [0.70, 0.95, 0.55, 0.85, 0.55, 0.95];
+    for nl in ladder_suite() {
+        let sta = Sta::new(&nl);
+        let delta = sta.critical_path_delay();
+        for algorithm in [Algorithm::ShortPath, Algorithm::PathBased, Algorithm::NodeBased] {
+            let mut warm_bdd = Bdd::new(nl.inputs().len());
+            let mut session =
+                WarmSession::new(algorithm, &nl, &sta, &mut warm_bdd, Budget::unlimited());
+            for frac in unsorted {
+                let target = delta * frac;
+                let warm = session.retarget(target);
+
+                let mut cold_bdd = Bdd::new(nl.inputs().len());
+                let cold = spcf_with(
+                    algorithm,
+                    &nl,
+                    &sta,
+                    &mut cold_bdd,
+                    target,
+                    &SpcfOptions::default(),
+                );
+
+                let warm_outs: Vec<NetId> = warm.outputs.iter().map(|o| o.output).collect();
+                let cold_outs: Vec<NetId> = cold.outputs.iter().map(|o| o.output).collect();
+                assert_eq!(
+                    warm_outs, cold_outs,
+                    "{}/{algorithm:?}@{frac}: critical-output lists differ on unsorted ladder",
+                    nl.name()
+                );
+                for (w, c) in warm.outputs.iter().zip(&cold.outputs) {
+                    assert_eq!(
+                        session.bdd().export(w.spcf),
+                        cold_bdd.export(c.spcf),
+                        "{}/{algorithm:?}@{frac}: unsorted-ladder exports differ on {:?}",
+                        nl.name(),
+                        w.output
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn warm_session_budget_hygiene() {
     let lib = Arc::new(lsi10k_like());

@@ -223,6 +223,56 @@ impl Snapshot {
         self.spans.iter().find(|s| s.name == name)
     }
 
+    /// Folds another snapshot into this one, registry-free: counters
+    /// add (saturating), gauges keep the incoming value (last write
+    /// wins), histograms add bucket-wise, spans add calls and times.
+    /// Name order stays sorted, so rendering stays deterministic.
+    ///
+    /// This is the aggregation primitive for long-running processes
+    /// (the serving daemon) that fold per-request worker drains into a
+    /// shared `Mutex<Snapshot>` instead of a thread-local registry —
+    /// [`absorb`] requires the destination to be the current thread's
+    /// registry, which a shared aggregate is not.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.counters[i].1 = self.counters[i].1.saturating_add(*v),
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.gauges[i].1 = *v,
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => {
+                    let into = &mut self.histograms[i].1;
+                    for (b, add) in into.buckets.iter_mut().zip(&h.buckets) {
+                        *b = b.saturating_add(*add);
+                    }
+                    into.overflow = into.overflow.saturating_add(h.overflow);
+                    into.count = into.count.saturating_add(h.count);
+                    into.sum += h.sum;
+                }
+                Err(i) => self.histograms.insert(i, (name.clone(), h.clone())),
+            }
+        }
+        for s in &other.spans {
+            match self.spans.binary_search_by(|e| e.name.cmp(&s.name)) {
+                Ok(i) => {
+                    let stat = &mut self.spans[i];
+                    stat.calls = stat.calls.saturating_add(s.calls);
+                    stat.total_ns = stat.total_ns.saturating_add(s.total_ns);
+                    stat.self_ns = stat.self_ns.saturating_add(s.self_ns);
+                }
+                Err(i) => self.spans.insert(i, s.clone()),
+            }
+        }
+    }
+
     /// Renders the snapshot as the workspace's metrics-report JSON
     /// (validated by [`crate::schema::validate`]).
     pub fn to_json(&self) -> Json {
@@ -411,6 +461,51 @@ mod tests {
         assert_eq!(span.calls, 3);
         assert!(span.total_ns >= 100, "worker time folded in: {span:?}");
         assert!(span.self_ns <= span.total_ns);
+    }
+
+    #[test]
+    fn merge_is_registry_free_and_keeps_name_order() {
+        let mut agg = Snapshot::default();
+        let mut a = Snapshot::default();
+        a.counters.push(("serve.requests".to_string(), 2));
+        a.gauges.push(("serve.pool.sessions".to_string(), 1.0));
+        let mut h = HistogramStat::default();
+        h.record(3.0);
+        a.histograms.push(("serve.request_ns".to_string(), h));
+        a.spans.push(SpanStat {
+            name: "serve.request".to_string(),
+            calls: 2,
+            total_ns: 50,
+            self_ns: 40,
+        });
+        let mut b = Snapshot::default();
+        b.counters.push(("serve.pool.hits".to_string(), 1));
+        b.counters.push(("serve.requests".to_string(), 3));
+        b.gauges.push(("serve.pool.sessions".to_string(), 4.0));
+        let mut h2 = HistogramStat::default();
+        h2.record(2e12);
+        b.histograms.push(("serve.request_ns".to_string(), h2));
+        b.spans.push(SpanStat {
+            name: "serve.request".to_string(),
+            calls: 1,
+            total_ns: 10,
+            self_ns: 10,
+        });
+        agg.merge(&a);
+        agg.merge(&b);
+        assert_eq!(agg.counter("serve.requests"), Some(5));
+        assert_eq!(agg.counter("serve.pool.hits"), Some(1));
+        let names: Vec<&str> = agg.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["serve.pool.hits", "serve.requests"], "sorted after merge");
+        assert_eq!(agg.gauge("serve.pool.sessions"), Some(4.0), "last write wins");
+        let merged = agg.histogram("serve.request_ns").expect("merged");
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.overflow, 1);
+        let span = agg.span("serve.request").expect("merged span");
+        assert_eq!((span.calls, span.total_ns, span.self_ns), (3, 60, 50));
+        // A merged aggregate renders to a schema-valid report.
+        let parsed = Json::parse(&agg.to_json().render()).expect("parses");
+        crate::schema::validate(&parsed).expect("merged aggregate is schema-valid");
     }
 
     #[test]

@@ -65,6 +65,20 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     ("resilience.budget.exhausted", MetricKind::Counter),
     ("resilience.fallback.node_based", MetricKind::Counter),
     ("resilience.fallback.conservative", MetricKind::Counter),
+    // tm-spcf warm sessions: defensive rebuilds on ascending ladders.
+    ("spcf.session.rebuilds", MetricKind::Counter),
+    // tm-server: masking-as-a-service daemon.
+    ("serve.requests", MetricKind::Counter),
+    ("serve.errors", MetricKind::Counter),
+    ("serve.shed", MetricKind::Counter),
+    ("serve.coalesced", MetricKind::Counter),
+    ("serve.degrade.node_based", MetricKind::Counter),
+    ("serve.degrade.conservative", MetricKind::Counter),
+    ("serve.pool.hits", MetricKind::Counter),
+    ("serve.pool.misses", MetricKind::Counter),
+    ("serve.pool.evictions", MetricKind::Counter),
+    ("serve.pool.sessions", MetricKind::Gauge),
+    ("serve.request_ns", MetricKind::Histogram),
 ];
 
 /// Every span name the workspace may open.
@@ -82,6 +96,7 @@ pub const KNOWN_SPANS: &[&str] = &[
     "masking.slack",
     "masking.verify",
     "monitor.trace.session",
+    "serve.request",
 ];
 
 /// Looks up a registered metric's kind.

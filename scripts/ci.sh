@@ -105,4 +105,32 @@ cargo test -q --offline -p tm-netlist --test blif_fuzz
 echo "== parallel driver smoke (TM_SPCF_JOBS=4) =="
 TM_SPCF_JOBS=4 cargo test -q --offline -p tm-spcf --test differential_oracle
 
+echo "== serve smoke (daemon + loadgen + admission shed) =="
+# Start the daemon on an ephemeral port with a deliberately tiny
+# admission gate, drive it with the load generator's smoke mode (which
+# includes a connection burst that must trip admission control), and
+# validate the STATS metrics against the closed schema.
+serve_metrics_json=target/tm-bench/ci-serve-metrics.json
+serve_log=target/tm-bench/ci-serve.log
+rm -f "$serve_metrics_json"
+mkdir -p target/tm-bench
+./target/release/tm-server --addr 127.0.0.1:0 --workers 2 --admit 1 \
+    > "$serve_log" 2>/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    serve_addr=$(sed -n 's/^listening //p' "$serve_log")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+[ -n "${serve_addr:-}" ] || { echo "ERROR: tm-server never reported its address" >&2; exit 1; }
+./target/release/loadgen --addr "$serve_addr" --smoke --expect-shed \
+    --stats-out "$serve_metrics_json"
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+test -s "$serve_metrics_json" || { echo "ERROR: loadgen wrote no metrics snapshot" >&2; exit 1; }
+cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- \
+    --require-nonzero serve.requests --require-nonzero serve.shed \
+    "$serve_metrics_json"
+
 echo "CI OK"
