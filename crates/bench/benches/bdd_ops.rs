@@ -67,6 +67,9 @@ fn main() {
     group.sample_size(20);
     args.apply(&mut group);
     group.meta("variant", NODE_STORE_VARIANT);
+    // Workload shape, so the overhead guard compares like with like:
+    // smoke entries in BENCH_bdd.json only ever match smoke runs.
+    group.meta("smoke", args.smoke as u8 as f64);
 
     let (gates, width) = if args.smoke { (60, 32) } else { (220, 96) };
     let nl = cone(14, 4, gates, 0xBDD);

@@ -1,0 +1,155 @@
+//! Regression guard comparing a fresh micro-bench report against the
+//! committed perf-trajectory baseline.
+//!
+//! ```text
+//! bench_guard --fresh target/tm-bench/bdd_ops.json \
+//!             --baseline BENCH_bdd.json [--tolerance-pct 2]
+//! ```
+//!
+//! The baseline file holds the perf trajectory: `{"group": ...,
+//! "entries": [<report>, ...]}`. The guard picks the **last** baseline
+//! entry whose `meta` matches the fresh report's (same `variant`, same
+//! `smoke` shape) and asserts every shared bench id's fresh median is
+//! within `--tolerance-pct` of the baseline median. CI uses this as
+//! the flight-recorder overhead gate: the dormant recorder's
+//! `recording()` checks ride every BDD hot-core kernel, so a fresh
+//! `bdd_ops` smoke run drifting more than 2 % above the committed
+//! medians means the instrumentation stopped being free.
+//!
+//! Exit status: 0 within tolerance, 1 regression or malformed input,
+//! 2 usage. Wall-clock medians are noisy; callers are expected to
+//! retry a failing comparison a couple of times before believing it,
+//! and a committed baseline should be a noise *envelope* — the max
+//! steady-state median observed per bench id across machine-load
+//! regimes (mark such entries `meta.envelope: 1`) — because run-to-run
+//! drift on shared hardware routinely exceeds a tight tolerance.
+
+use tm_testkit::json::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_guard --fresh FILE --baseline FILE [--tolerance-pct N]");
+    std::process::exit(2);
+}
+
+fn read_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_guard: {path} is not JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// The `(id, median_ns)` rows of one report object.
+fn medians(report: &Json) -> Vec<(String, f64)> {
+    report
+        .get("results")
+        .and_then(Json::as_arr)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("id")?.as_str()?.to_string(),
+                        r.get("median_ns")?.as_num()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn meta_num(report: &Json, key: &str) -> f64 {
+    report
+        .get("meta")
+        .and_then(|m| m.get(key))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let mut fresh_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance_pct = 2.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fresh" => fresh_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            "--tolerance-pct" => {
+                tolerance_pct =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let fresh_path = fresh_path.unwrap_or_else(|| usage());
+    let baseline_path = baseline_path.unwrap_or_else(|| usage());
+
+    let fresh = read_json(&fresh_path);
+    let baseline = read_json(&baseline_path);
+    let fresh_variant = meta_num(&fresh, "variant");
+    let fresh_smoke = meta_num(&fresh, "smoke");
+
+    let entries = baseline.get("entries").and_then(Json::as_arr).unwrap_or_else(|| {
+        eprintln!("bench_guard: {baseline_path} has no `entries` array");
+        std::process::exit(1);
+    });
+    let Some(base) = entries
+        .iter()
+        .filter(|e| {
+            meta_num(e, "variant") == fresh_variant && meta_num(e, "smoke") == fresh_smoke
+        })
+        .next_back()
+    else {
+        eprintln!(
+            "bench_guard: no baseline entry matches variant={fresh_variant} \
+             smoke={fresh_smoke}; commit one first"
+        );
+        std::process::exit(1);
+    };
+
+    let base_medians = medians(base);
+    let fresh_medians = medians(&fresh);
+    let mut compared = 0usize;
+    let mut failed = false;
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}  (tolerance +{tolerance_pct}%)",
+        "bench", "baseline_ns", "fresh_ns", "delta"
+    );
+    for (id, fresh_median) in &fresh_medians {
+        let Some((_, base_median)) = base_medians.iter().find(|(b, _)| b == id) else {
+            continue; // new bench: nothing to regress against
+        };
+        compared += 1;
+        let delta_pct = (fresh_median - base_median) / base_median * 100.0;
+        let over = *fresh_median > base_median * (1.0 + tolerance_pct / 100.0);
+        println!(
+            "{:<24} {:>14.0} {:>14.0} {:>+8.2}%{}",
+            id,
+            base_median,
+            fresh_median,
+            delta_pct,
+            if over { "  REGRESSION" } else { "" }
+        );
+        if over {
+            failed = true;
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench_guard: no shared bench ids between fresh report and baseline");
+        std::process::exit(1);
+    }
+    if failed {
+        eprintln!(
+            "bench_guard: fresh medians exceed the committed baseline by more than \
+             {tolerance_pct}% — dormant tracing is no longer free (or the machine is noisy; \
+             rerun before believing this)"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: {compared} benches within +{tolerance_pct}% of baseline");
+}

@@ -88,7 +88,16 @@ fn request_with_retry(addr: &str, payload: &str) -> Result<(Duration, Vec<Json>)
     let mut last = String::new();
     for _ in 0..50 {
         match one_request(addr, payload) {
-            Err(e) if e == "error:overloaded" => {
+            // Transport failures on a fresh connection are the same
+            // race at a lower level: a shedding server's close can RST
+            // the rejection frame away before we read it, surfacing as
+            // a connect/write/read error instead of the typed code.
+            Err(e)
+                if e == "error:overloaded"
+                    || e.starts_with("connect:")
+                    || e.starts_with("write:")
+                    || e.starts_with("read:") =>
+            {
                 last = e;
                 std::thread::sleep(Duration::from_millis(20));
             }
@@ -111,24 +120,37 @@ struct RatePoint {
     achieved_rps: f64,
     completed: usize,
     errors: usize,
+    /// Error counts keyed by kind: typed server codes (`overloaded`,
+    /// `exhausted`, ...) and client-side failure classes (`connect`,
+    /// `read`, ...), name-sorted.
+    error_kinds: Vec<(String, usize)>,
     p50: Duration,
     p95: Duration,
     p99: Duration,
+    max: Duration,
+}
+
+/// Classifies a request failure: typed `error:` frames keep their wire
+/// code, transport failures keep their stage (`connect`, `read`, ...).
+fn error_kind(e: &str) -> String {
+    match e.strip_prefix("error:") {
+        Some(code) => code.to_string(),
+        None => e.split(':').next().unwrap_or("unknown").to_string(),
+    }
 }
 
 /// Open-loop pass at `rate` req/s for `duration`: request `k` starts at
 /// `k/rate` regardless of how request `k-1` is doing.
 fn run_rate(addr: &str, payloads: &[String], rate: f64, duration: Duration, senders: usize) -> RatePoint {
     let total = ((rate * duration.as_secs_f64()).floor() as usize).max(1);
-    let errors = Arc::new(AtomicUsize::new(0));
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for s in 0..senders {
         let addr = addr.to_string();
         let payloads = payloads.to_vec();
-        let errors = Arc::clone(&errors);
         handles.push(std::thread::spawn(move || {
             let mut latencies = Vec::new();
+            let mut errors: Vec<String> = Vec::new();
             let mut k = s;
             while k < total {
                 let scheduled = t0 + Duration::from_secs_f64(k as f64 / rate);
@@ -137,29 +159,38 @@ fn run_rate(addr: &str, payloads: &[String], rate: f64, duration: Duration, send
                 }
                 match one_request(&addr, &payloads[k % payloads.len()]) {
                     Ok((latency, _)) => latencies.push(latency),
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                    }
+                    Err(e) => errors.push(error_kind(&e)),
                 }
                 k += senders;
             }
-            latencies
+            (latencies, errors)
         }));
     }
     let mut latencies: Vec<Duration> = Vec::new();
+    let mut error_kinds: Vec<(String, usize)> = Vec::new();
     for h in handles {
-        latencies.extend(h.join().expect("sender thread"));
+        let (lat, errs) = h.join().expect("sender thread");
+        latencies.extend(lat);
+        for kind in errs {
+            match error_kinds.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => error_kinds.push((kind, 1)),
+            }
+        }
     }
+    error_kinds.sort_by(|a, b| a.0.cmp(&b.0));
     let elapsed = t0.elapsed();
     latencies.sort();
     RatePoint {
         target_rps: rate,
         achieved_rps: latencies.len() as f64 / elapsed.as_secs_f64(),
         completed: latencies.len(),
-        errors: errors.load(Ordering::Relaxed),
+        errors: error_kinds.iter().map(|(_, n)| n).sum(),
+        error_kinds,
         p50: percentile(&latencies, 0.50),
         p95: percentile(&latencies, 0.95),
         p99: percentile(&latencies, 0.99),
+        max: latencies.last().copied().unwrap_or(Duration::ZERO),
     }
 }
 
@@ -325,14 +356,26 @@ fn main() {
         let points: Vec<Json> = rate_points
             .iter()
             .map(|p| {
+                let kinds: Vec<Json> = p
+                    .error_kinds
+                    .iter()
+                    .map(|(kind, n)| {
+                        Json::obj([
+                            ("kind", Json::str(kind.clone())),
+                            ("count", Json::Num(*n as f64)),
+                        ])
+                    })
+                    .collect();
                 Json::obj([
                     ("target_rps", Json::Num(p.target_rps)),
                     ("achieved_rps", Json::Num(p.achieved_rps)),
                     ("completed", Json::Num(p.completed as f64)),
                     ("errors", Json::Num(p.errors as f64)),
+                    ("error_kinds", Json::Arr(kinds)),
                     ("p50_ns", Json::Num(p.p50.as_nanos() as f64)),
                     ("p95_ns", Json::Num(p.p95.as_nanos() as f64)),
                     ("p99_ns", Json::Num(p.p99.as_nanos() as f64)),
+                    ("max_ns", Json::Num(p.max.as_nanos() as f64)),
                 ])
             })
             .collect();

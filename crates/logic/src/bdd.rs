@@ -1044,6 +1044,21 @@ impl Bdd {
     /// publish (safe to call repeatedly from nested instrumentation),
     /// gauges get the current node and unique-table occupancy.
     pub fn publish_metrics(&mut self) {
+        // Coarse flight-recorder checkpoint: one instant event per
+        // publish carrying the manager's size, so request traces show
+        // BDD growth without per-operation overhead. Gated separately
+        // from the metrics below — the serving daemon records flight
+        // events even when thread-local metrics are off.
+        if tm_telemetry::flight::recording() {
+            tm_telemetry::flight::instant(
+                "bdd.publish",
+                &[
+                    ("nodes", self.vars.len() as f64),
+                    ("cache_hits", self.stats.ite_cache_hits as f64),
+                    ("cache_misses", self.stats.ite_cache_misses as f64),
+                ],
+            );
+        }
         if !tm_telemetry::enabled() {
             return;
         }

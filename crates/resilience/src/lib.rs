@@ -127,6 +127,12 @@ impl Budget {
             return Ok(());
         }
         tm_telemetry::counter_add("resilience.budget.exhausted", 1);
+        // Flight event so a trace shows *which request* exhausted its
+        // budget (the active trace id is attached automatically).
+        tm_telemetry::flight::instant(
+            "resilience.exhausted",
+            &[("resource", resource as u8 as f64), ("limit", limit as f64), ("used", used as f64)],
+        );
         Err(Exhausted { resource, limit, used })
     }
 
@@ -234,6 +240,14 @@ impl SharedBudget {
             if used >= limit && limit != u64::MAX {
                 if !self.tripped.swap(true, Ordering::Relaxed) {
                     tm_telemetry::counter_add("resilience.budget.exhausted", 1);
+                    tm_telemetry::flight::instant(
+                        "resilience.exhausted",
+                        &[
+                            ("resource", resource as u8 as f64),
+                            ("limit", limit as f64),
+                            ("used", used as f64),
+                        ],
+                    );
                 }
                 return Err(Exhausted { resource, limit, used });
             }

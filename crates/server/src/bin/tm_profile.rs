@@ -1,0 +1,406 @@
+//! `tm-profile`: render and validate flight-recorder exports.
+//!
+//! ```text
+//! tm-profile --addr HOST:PORT [--limit N] [--out FILE] [--check]
+//! tm-profile FILE [--out FILE] [--check]
+//! ```
+//!
+//! Pull mode connects to a running `tm-server`, sends a `trace` verb,
+//! and reads back the Chrome trace-event export; file mode reads a
+//! previously saved export (either the raw Chrome JSON or a whole
+//! `trace` frame). Either way the tool prints a text phase/flame
+//! report: per-phase latency totals across the recorder, plus a span
+//! tree for each slow-request capture.
+//!
+//! `--check` validates the export instead of merely rendering it:
+//! every event well-formed, spans properly nested per `(pid, tid)`,
+//! event names drawn from the telemetry schema's known-event list, and
+//! per-request phase durations summing to no more than the request's
+//! wall time. The CI trace stage runs exactly this against a live
+//! daemon. Exit status: 0 clean, 1 validation failure, 2 usage.
+
+use std::net::TcpStream;
+use tm_server::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use tm_telemetry::flight::{PID_FLIGHT, PID_SLOW};
+use tm_testkit::json::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tm-profile (--addr HOST:PORT | FILE) [--limit N] [--out FILE] [--check]"
+    );
+    std::process::exit(2);
+}
+
+/// One parsed Chrome trace event (metadata rows excluded).
+#[derive(Clone, Debug)]
+struct Ev {
+    name: String,
+    ph: String,
+    pid: u64,
+    tid: u64,
+    /// Microseconds, as exported.
+    ts: f64,
+    /// Microseconds; 0 for instants.
+    dur: f64,
+    trace_id: u64,
+}
+
+impl Ev {
+    fn end(&self) -> f64 {
+        self.ts + self.dur
+    }
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut limit: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut check = false;
+
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--limit" => {
+                limit = Some(
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                )
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other.to_string())
+            }
+            other => {
+                eprintln!("tm-profile: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if addr.is_some() == file.is_some() {
+        eprintln!("tm-profile: need exactly one of --addr or FILE");
+        usage();
+    }
+
+    let chrome = match &addr {
+        Some(addr) => match pull_trace(addr, limit) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("tm-profile: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let path = file.as_deref().unwrap_or_else(|| usage());
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tm-profile: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match Json::parse(&text) {
+                Ok(j) => unwrap_frame(j),
+                Err(e) => {
+                    eprintln!("tm-profile: {path} is not JSON: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, chrome.render()) {
+            eprintln!("tm-profile: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("tm-profile: wrote {path}");
+    }
+
+    let events = match collect_events(&chrome) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("tm-profile: malformed export: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if check {
+        match validate(&events) {
+            Ok(summary) => println!("trace ok: {summary}"),
+            Err(e) => {
+                eprintln!("tm-profile: INVALID trace: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    print_report(&events);
+}
+
+/// Sends a `trace` verb to a live daemon and returns the Chrome JSON.
+fn pull_trace(addr: &str, limit: Option<usize>) -> Result<Json, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let request = match limit {
+        Some(n) => {
+            Json::obj([("verb", Json::str("trace")), ("limit", Json::Num(n as f64))])
+        }
+        None => Json::obj([("verb", Json::str("trace"))]),
+    };
+    write_frame(&mut stream, request.render().as_bytes())
+        .map_err(|e| format!("send trace request: {e}"))?;
+    let payload = read_frame(&mut stream, DEFAULT_MAX_FRAME)
+        .map_err(|e| format!("read trace frame: {e}"))?
+        .ok_or("server closed before answering")?;
+    let frame = Json::parse(
+        std::str::from_utf8(&payload).map_err(|e| format!("frame is not UTF-8: {e}"))?,
+    )
+    .map_err(|e| format!("frame is not JSON: {e}"))?;
+    match frame.get("type").and_then(Json::as_str) {
+        Some("trace") => Ok(unwrap_frame(frame)),
+        Some("error") => Err(format!(
+            "server error: {}",
+            frame.get("message").and_then(Json::as_str).unwrap_or("?")
+        )),
+        other => Err(format!("unexpected frame type {other:?}")),
+    }
+}
+
+/// Accepts either a whole `trace` frame or the bare Chrome JSON.
+fn unwrap_frame(j: Json) -> Json {
+    if j.get("traceEvents").is_some() {
+        return j;
+    }
+    match j.get("trace") {
+        Some(inner) => inner.clone(),
+        None => j,
+    }
+}
+
+fn collect_events(chrome: &Json) -> Result<Vec<Ev>, String> {
+    let raw = chrome
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut events = Vec::with_capacity(raw.len());
+    for (i, e) in raw.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue; // process_name metadata
+        }
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let num = |field: &str| {
+            e.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("event {i} ({name}): missing number `{field}`"))
+        };
+        let dur = if ph == "X" { num("dur")? } else { 0.0 };
+        events.push(Ev {
+            name: name.to_string(),
+            ph: ph.to_string(),
+            pid: num("pid")? as u64,
+            tid: num("tid")? as u64,
+            ts: num("ts")?,
+            dur,
+            trace_id: e
+                .get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Json::as_num)
+                .unwrap_or(0.0) as u64,
+        });
+    }
+    Ok(events)
+}
+
+/// Slack allowed when comparing microsecond floats: one nanosecond.
+const EPS_US: f64 = 0.001;
+
+fn validate(events: &[Ev]) -> Result<String, String> {
+    // 1. Every event well-formed: known phase kind, finite non-negative
+    //    timestamps, names from the telemetry schema.
+    for ev in events {
+        if ev.ph != "X" && ev.ph != "i" {
+            return Err(format!("{}: unexpected ph `{}`", ev.name, ev.ph));
+        }
+        if !ev.ts.is_finite() || ev.ts < 0.0 || !ev.dur.is_finite() || ev.dur < 0.0 {
+            return Err(format!("{}: non-finite or negative ts/dur", ev.name));
+        }
+        if !tm_telemetry::schema::is_known_event(&ev.name) {
+            return Err(format!("{}: not a schema-known event name", ev.name));
+        }
+        if ev.pid != PID_FLIGHT && ev.pid != PID_SLOW {
+            return Err(format!("{}: unknown pid {}", ev.name, ev.pid));
+        }
+    }
+
+    // 2. Spans nest per (pid, tid): sorted by start (ties: longer
+    //    first), each span either starts after the enclosing one ends
+    //    or lies entirely inside it.
+    let mut lanes: Vec<(u64, u64)> = events.iter().map(|e| (e.pid, e.tid)).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for (pid, tid) in lanes {
+        let mut lane: Vec<&Ev> = events
+            .iter()
+            .filter(|e| e.pid == pid && e.tid == tid && e.ph == "X")
+            .collect();
+        lane.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.dur.partial_cmp(&a.dur).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let mut stack: Vec<&Ev> = Vec::new();
+        for ev in lane {
+            while let Some(top) = stack.last() {
+                if ev.ts >= top.end() - EPS_US {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                if ev.end() > top.end() + EPS_US {
+                    return Err(format!(
+                        "pid {pid} tid {tid}: `{}` [{:.3}..{:.3}] straddles `{}` \
+                         [{:.3}..{:.3}] instead of nesting",
+                        ev.name,
+                        ev.ts,
+                        ev.end(),
+                        top.name,
+                        top.ts,
+                        top.end()
+                    ));
+                }
+            }
+            stack.push(ev);
+        }
+    }
+
+    // 3. Per request: the serve.* phase durations sum to no more than
+    //    the root span's wall time. (Phases are disjoint siblings of
+    //    one root, so the sum bound is implied by nesting — checking it
+    //    directly catches double-counted or mis-parented phases.)
+    let mut roots = 0usize;
+    let mut ids: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.trace_id != 0)
+        .map(|e| (e.pid, e.trace_id))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    for (pid, id) in ids {
+        let in_trace = |e: &&Ev| e.pid == pid && e.trace_id == id;
+        let Some(root) = events
+            .iter()
+            .filter(in_trace)
+            .find(|e| e.name == "serve.request" && e.ph == "X")
+        else {
+            continue; // request still open (or root rotated out of the ring)
+        };
+        roots += 1;
+        let phase_sum: f64 = events
+            .iter()
+            .filter(in_trace)
+            .filter(|e| e.ph == "X" && e.name.starts_with("serve.") && e.name != "serve.request")
+            .map(|e| e.dur)
+            .sum();
+        if phase_sum > root.dur + EPS_US {
+            return Err(format!(
+                "trace {id}: phase durations sum to {phase_sum:.3}us, \
+                 above the request wall time {:.3}us",
+                root.dur
+            ));
+        }
+    }
+
+    Ok(format!("{} events, {} complete requests, spans nest, sums bounded", events.len(), roots))
+}
+
+fn print_report(events: &[Ev]) {
+    // Phase totals across the live recorder (pid 1): the flat profile.
+    let mut totals: Vec<(String, u64, f64, f64)> = Vec::new(); // name, count, total, max
+    for ev in events.iter().filter(|e| e.pid == PID_FLIGHT && e.ph == "X") {
+        match totals.iter_mut().find(|t| t.0 == ev.name) {
+            Some(t) => {
+                t.1 += 1;
+                t.2 += ev.dur;
+                t.3 = t.3.max(ev.dur);
+            }
+            None => totals.push((ev.name.clone(), 1, ev.dur, ev.dur)),
+        }
+    }
+    totals.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    println!("== phase totals (live rings) ==");
+    println!("{:<24} {:>8} {:>12} {:>12} {:>12}", "phase", "count", "total_us", "mean_us", "max_us");
+    for (name, count, total, max) in &totals {
+        println!(
+            "{:<24} {:>8} {:>12.1} {:>12.1} {:>12.1}",
+            name,
+            count,
+            total,
+            total / *count as f64,
+            max
+        );
+    }
+    let instants = events.iter().filter(|e| e.ph == "i").count();
+    if instants > 0 {
+        println!("({instants} instant events not shown in totals)");
+    }
+
+    // Slow captures (pid 2): one span tree per captured request.
+    let mut slow_ids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.pid == PID_SLOW && e.trace_id != 0)
+        .map(|e| e.trace_id)
+        .collect();
+    slow_ids.sort_unstable();
+    slow_ids.dedup();
+    if slow_ids.is_empty() {
+        return;
+    }
+    println!("\n== slow requests ({}) ==", slow_ids.len());
+    for id in slow_ids {
+        let mut spans: Vec<&Ev> = events
+            .iter()
+            .filter(|e| e.pid == PID_SLOW && e.trace_id == id && e.ph == "X")
+            .collect();
+        spans.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.dur.partial_cmp(&a.dur).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let wall = spans
+            .iter()
+            .find(|e| e.name == "serve.request")
+            .map(|e| e.dur)
+            .unwrap_or(0.0);
+        println!("-- trace {id}: {wall:.1}us wall --");
+        // Indent by nesting depth within the capture's own timeline.
+        let mut stack: Vec<f64> = Vec::new(); // end times
+        for ev in spans {
+            while let Some(&end) = stack.last() {
+                if ev.ts >= end - EPS_US {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            println!(
+                "{:indent$}{:<24} {:>12.1}us",
+                "",
+                ev.name,
+                ev.dur,
+                indent = 2 * stack.len()
+            );
+            stack.push(ev.end());
+        }
+    }
+}

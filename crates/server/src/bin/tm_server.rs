@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! tm-server [--addr HOST:PORT] [--workers N] [--pool N] [--admit N]
-//!           [--max-steps N] [--read-timeout-ms N]
+//!           [--max-steps N] [--read-timeout-ms N] [--slow-ms N]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port), prints the
 //! bound address as `listening ADDR` on stdout, and serves until
-//! killed. See DESIGN.md §10 for the protocol and the README for a
-//! quickstart with the `loadgen` client.
+//! killed. The flight recorder is always on in the daemon (`--slow-ms`
+//! sets the slow-request capture threshold; pull an export with the
+//! `trace` verb or `tm-profile`). See DESIGN.md §10 for the protocol
+//! and the README for a quickstart with the `loadgen` client.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -19,7 +21,7 @@ use tm_server::serve::{ServeConfig, ServeCore};
 fn usage() -> ! {
     eprintln!(
         "usage: tm-server [--addr HOST:PORT] [--workers N] [--pool N] [--admit N] \
-         [--max-steps N] [--read-timeout-ms N]"
+         [--max-steps N] [--read-timeout-ms N] [--slow-ms N]"
     );
     std::process::exit(2);
 }
@@ -41,6 +43,7 @@ fn main() {
     let mut admit: Option<usize> = None;
     let mut max_steps: Option<u64> = None;
     let mut read_timeout_ms: Option<u64> = None;
+    let mut slow_ms: Option<u64> = None;
 
     let mut args = std::env::args();
     let _argv0 = args.next();
@@ -54,6 +57,7 @@ fn main() {
             "--read-timeout-ms" => {
                 read_timeout_ms = Some(parse_flag(&mut args, "--read-timeout-ms"))
             }
+            "--slow-ms" => slow_ms = Some(parse_flag(&mut args, "--slow-ms")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("tm-server: unknown flag {other}");
@@ -75,7 +79,14 @@ fn main() {
     if let Some(ms) = read_timeout_ms {
         config.read_timeout = Duration::from_millis(ms);
     }
+    if let Some(ms) = slow_ms {
+        config.slow_threshold = Duration::from_millis(ms);
+    }
 
+    // The daemon always records: the flight recorder's rings are
+    // fixed-size and overwrite-oldest, so "always on" costs bounded
+    // memory and the `trace` verb always has something to export.
+    tm_telemetry::flight::force_recording(true);
     let core = Arc::new(ServeCore::new(config));
     let handle = match tm_server::net::serve(core, addr.as_str()) {
         Ok(handle) => handle,

@@ -32,21 +32,24 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use tm_resilience::Permit;
 
-/// Pending accepted connections, each carrying its admission permit.
+/// Pending accepted connections, each carrying its admission permit
+/// and the instant it was queued (so the first request can attribute
+/// its queue wait in the flight recorder).
 struct ConnQueue {
-    queue: Mutex<VecDeque<(TcpStream, Permit)>>,
+    queue: Mutex<VecDeque<(TcpStream, Permit, Instant)>>,
     available: Condvar,
 }
 
 impl ConnQueue {
-    fn push(&self, conn: (TcpStream, Permit)) {
+    fn push(&self, conn: (TcpStream, Permit, Instant)) {
         lock_recover(&self.queue).push_back(conn);
         self.available.notify_one();
     }
 
-    fn pop(&self, shutdown: &AtomicBool) -> Option<(TcpStream, Permit)> {
+    fn pop(&self, shutdown: &AtomicBool) -> Option<(TcpStream, Permit, Instant)> {
         let mut q = lock_recover(&self.queue);
         loop {
             if let Some(conn) = q.pop_front() {
@@ -149,7 +152,7 @@ fn accept_loop(
             return;
         }
         match core.gate().try_enter() {
-            Some(permit) => queue.push((stream, permit)),
+            Some(permit) => queue.push((stream, permit, Instant::now())),
             None => {
                 // Full house: typed rejection at accept time, then
                 // close. Best-effort — a client that already left
@@ -169,29 +172,35 @@ fn accept_loop(
 
 fn worker_loop(core: &ServeCore, queue: &ConnQueue, shutdown: &AtomicBool) {
     tm_telemetry::set_thread_enabled(Some(true));
-    while let Some((stream, permit)) = queue.pop(shutdown) {
-        serve_connection(core, stream);
+    while let Some((stream, permit, queued_at)) = queue.pop(shutdown) {
+        let queue_ns = queued_at.elapsed().as_nanos() as u64;
+        serve_connection(core, stream, queue_ns);
         drop(permit);
         core.fold_local_telemetry();
     }
 }
 
-fn serve_connection(core: &ServeCore, mut stream: TcpStream) {
+fn serve_connection(core: &ServeCore, mut stream: TcpStream, queue_ns: u64) {
     let config = *core.config();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_nodelay(true);
+    // Only the first request on a connection waited in the accept
+    // queue; later frames arrive on an already-claimed worker.
+    let mut pending_queue_ns = queue_ns;
     loop {
         match read_frame(&mut stream, config.max_frame) {
             Ok(None) => return, // clean EOF between frames
             Ok(Some(payload)) => {
-                let frames =
-                    match catch_unwind(AssertUnwindSafe(|| core.handle_payload(&payload))) {
-                        Ok(frames) => frames,
-                        Err(_) => {
-                            tm_telemetry::counter_add("serve.errors", 1);
-                            vec![error_frame("internal", "request handling panicked")]
-                        }
-                    };
+                let queue_ns = std::mem::take(&mut pending_queue_ns);
+                let frames = match catch_unwind(AssertUnwindSafe(|| {
+                    core.handle_payload_queued(&payload, queue_ns)
+                })) {
+                    Ok(frames) => frames,
+                    Err(_) => {
+                        tm_telemetry::counter_add("serve.errors", 1);
+                        vec![error_frame("internal", "request handling panicked")]
+                    }
+                };
                 for frame in &frames {
                     if write_frame(&mut stream, frame.as_bytes()).is_err() {
                         return; // client went away mid-stream

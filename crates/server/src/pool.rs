@@ -199,10 +199,24 @@ impl PooledSession {
                 primes: &mut self.primes,
                 globals: &mut self.globals,
             };
-            slot.engine.retarget(&mut cx, &targets).and_then(|()| {
+            let retargeted = {
+                let _phase = tm_telemetry::flight::phase_with(
+                    "spcf.prepare",
+                    &[("targets", targets.len() as f64)],
+                );
+                slot.engine.retarget(&mut cx, &targets)
+            };
+            retargeted.and_then(|()| {
                 let mut outputs = Vec::with_capacity(targets.len());
                 for &o in &targets {
-                    outputs.push(OutputSpcf { output: o, spcf: slot.engine.compute_output(&mut cx, o)? });
+                    let spcf = {
+                        let _phase = tm_telemetry::flight::phase_with(
+                            "spcf.output",
+                            &[("net", o.index() as f64)],
+                        );
+                        slot.engine.compute_output(&mut cx, o)?
+                    };
+                    outputs.push(OutputSpcf { output: o, spcf });
                 }
                 Ok(outputs)
             })

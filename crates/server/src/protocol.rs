@@ -16,11 +16,13 @@
 //!  "targets": [0.95, 0.85], "relative": true}
 //! {"verb": "mask", "blif": "..."}
 //! {"verb": "stats"}
+//! {"verb": "trace", "limit": 2000}
 //! ```
 //!
 //! Responses are one or more frames typed by a `type` field:
 //! `report` (one per ladder point, streamed in request order), `done`
-//! (terminates a successful `spcf` ladder), `mask_report`, `stats`, and
+//! (terminates a successful `spcf` ladder), `mask_report`, `stats`,
+//! `trace` (a Chrome-trace-event export of the flight recorder), and
 //! `error` with a typed `code` (`parse`, `invalid`, `unsupported`,
 //! `exhausted`, `overloaded`, `protocol`, `timeout`, `internal`).
 //! Malformed *payloads* keep the connection open (the frame boundary is
@@ -150,6 +152,12 @@ pub enum Request {
     },
     /// Return the server's telemetry snapshot and pool statistics.
     Stats,
+    /// Export the flight recorder as Chrome trace-event JSON.
+    Trace {
+        /// Cap on exported events (newest kept); `None` uses the
+        /// server default.
+        limit: Option<usize>,
+    },
 }
 
 /// Parses an algorithm name as accepted on the wire (the `Display`
@@ -179,6 +187,23 @@ impl Request {
             .ok_or_else(|| TmError::invalid_input("request is missing a string `verb`"))?;
         match verb {
             "stats" => Ok(Request::Stats),
+            "trace" => {
+                let limit = match json.get("limit") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => {
+                        let v = j.as_num().ok_or_else(|| {
+                            TmError::invalid_input("`limit` must be a number")
+                        })?;
+                        if !v.is_finite() || v < 1.0 || v.fract() != 0.0 {
+                            return Err(TmError::invalid_input(format!(
+                                "`limit` must be a positive integer, got {v}"
+                            )));
+                        }
+                        Some(v as usize)
+                    }
+                };
+                Ok(Request::Trace { limit })
+            }
             "mask" => Ok(Request::Mask { blif: required_blif(&json)? }),
             "spcf" => {
                 let blif = required_blif(&json)?;
@@ -327,6 +352,27 @@ mod tests {
             Request::parse(br#"{"verb":"mask","blif":"x"}"#).expect("mask"),
             Request::Mask { .. }
         ));
+    }
+
+    #[test]
+    fn parses_the_trace_verb() {
+        assert_eq!(
+            Request::parse(br#"{"verb":"trace"}"#).expect("bare trace"),
+            Request::Trace { limit: None }
+        );
+        assert_eq!(
+            Request::parse(br#"{"verb":"trace","limit":500}"#).expect("with limit"),
+            Request::Trace { limit: Some(500) }
+        );
+        for bad in [
+            &br#"{"verb":"trace","limit":"many"}"#[..],
+            br#"{"verb":"trace","limit":0}"#,
+            br#"{"verb":"trace","limit":-3}"#,
+            br#"{"verb":"trace","limit":1.5}"#,
+        ] {
+            let err = Request::parse(bad).expect_err("bad limit must fail");
+            assert_eq!(error_code(&err), "invalid", "{}", String::from_utf8_lossy(bad));
+        }
     }
 
     #[test]

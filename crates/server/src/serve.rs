@@ -22,7 +22,7 @@
 //! # Determinism
 //!
 //! Report frames carry no wall-clock fields (latency goes to the
-//! `serve.request_ns` histogram instead), so a request's frames are a
+//! `serve.request_ns` digest instead), so a request's frames are a
 //! pure function of (circuit, algorithm, ladder) — the
 //! concurrent-determinism suite compares them byte-for-byte against a
 //! serial [`tm_spcf::EngineSession`] run. Coalescing hands a waiting
@@ -40,6 +40,7 @@ use tm_netlist::library::{lsi10k_like, Library};
 use tm_netlist::{Delay, Netlist};
 use tm_resilience::{Budget, Gate, TmError};
 use tm_spcf::{Algorithm, SpcfSet};
+use tm_telemetry::flight;
 use tm_telemetry::Snapshot;
 use tm_testkit::json::Json;
 
@@ -66,6 +67,9 @@ pub struct ServeConfig {
     pub degrade_node_based_at: usize,
     /// In-flight count above which requests degrade to conservative.
     pub degrade_conservative_at: usize,
+    /// Requests whose wall time reaches this threshold have their full
+    /// span tree copied into the flight recorder's slow log.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -89,9 +93,14 @@ impl ServeConfig {
             max_frame: crate::protocol::DEFAULT_MAX_FRAME,
             degrade_node_based_at: 2 * workers,
             degrade_conservative_at: 3 * workers,
+            slow_threshold: Duration::from_millis(25),
         }
     }
 }
+
+/// Default cap on events in a `trace` export — keeps the rendered
+/// Chrome JSON safely under the 4 MiB frame cap.
+pub const DEFAULT_TRACE_EXPORT_LIMIT: usize = 10_000;
 
 /// A coalescing slot: the leader fills `frames` and notifies; followers
 /// wait (bounded) and reuse the bytes.
@@ -157,9 +166,32 @@ impl ServeCore {
     /// stream order. Never panics on adversarial input; internal
     /// errors become typed `error` frames.
     pub fn handle_payload(&self, payload: &[u8]) -> Vec<String> {
+        self.handle_payload_queued(payload, 0)
+    }
+
+    /// [`ServeCore::handle_payload`] with queue-wait attribution:
+    /// `queue_ns` is how long the request sat in the accept queue
+    /// before a worker picked it up. The flight-recorder root span is
+    /// back-dated by that amount, so queue wait shows up in the phase
+    /// breakdown instead of silently vanishing.
+    pub fn handle_payload_queued(&self, payload: &[u8], queue_ns: u64) -> Vec<String> {
         let _span = tm_telemetry::span!("serve.request");
+        let trace = flight::request_begin("serve.request", queue_ns);
+        if queue_ns > 0 {
+            tm_telemetry::digest_record("serve.queue_ns", queue_ns);
+            // End-anchored: if the back-dated start saturates at the
+            // trace epoch, the duration shrinks with it so the span
+            // can never extend past now (and into later phases).
+            let end = flight::now_ns();
+            let ts = end.saturating_sub(queue_ns);
+            flight::complete("serve.queue", ts, end - ts, &[]);
+        }
         let start = Instant::now();
-        let frames = match Request::parse(payload) {
+        let parsed = {
+            let _phase = flight::phase("serve.parse");
+            Request::parse(payload)
+        };
+        let frames = match parsed {
             Err(e) => {
                 tm_telemetry::counter_add("serve.errors", 1);
                 vec![error_frame_for(&e)]
@@ -168,6 +200,9 @@ impl ServeCore {
                 tm_telemetry::counter_add("serve.requests", 1);
                 match request {
                     Request::Stats => vec![self.stats_frame()],
+                    Request::Trace { limit } => {
+                        vec![self.trace_frame(limit.unwrap_or(DEFAULT_TRACE_EXPORT_LIMIT))]
+                    }
                     Request::Mask { blif } => self.handle_mask(&blif),
                     Request::Spcf { blif, algorithm, targets, relative } => {
                         self.handle_spcf(&blif, algorithm, &targets, relative)
@@ -175,7 +210,13 @@ impl ServeCore {
                 }
             }
         };
-        tm_telemetry::histogram_record("serve.request_ns", start.elapsed().as_nanos() as f64);
+        tm_telemetry::digest_record("serve.request_ns", start.elapsed().as_nanos() as u64);
+        if let Some(summary) = trace.finish(self.config.slow_threshold.as_nanos() as u64) {
+            tm_telemetry::counter_add("serve.trace.events", summary.events);
+            if summary.slow {
+                tm_telemetry::counter_add("serve.slow.captured", 1);
+            }
+        }
         frames
     }
 
@@ -186,6 +227,7 @@ impl ServeCore {
         targets: &[f64],
         relative: bool,
     ) -> Vec<String> {
+        let parse_phase = flight::phase("serve.parse");
         let sop = match parse_blif(blif) {
             Ok(sop) => sop,
             Err(e) => {
@@ -195,6 +237,7 @@ impl ServeCore {
         };
         let canonical = canonical_blif(&sop);
         let circuit_key = fnv1a64(canonical.as_bytes());
+        drop(parse_phase);
         // Identical concurrent requests ride one computation: key the
         // flight by everything that shapes the response bytes.
         let mut flight_bytes = canonical.into_bytes();
@@ -257,10 +300,17 @@ impl ServeCore {
         targets: &[f64],
         relative: bool,
     ) -> Vec<String> {
-        let entry = match self
-            .pool
-            .checkout(circuit_key, || PooledSession::build(sop, Arc::clone(&self.library)))
-        {
+        let mut built = false;
+        let checkout = {
+            let mut pool_phase = flight::phase("serve.pool");
+            let r = self.pool.checkout(circuit_key, || {
+                built = true;
+                PooledSession::build(sop, Arc::clone(&self.library))
+            });
+            pool_phase.arg("built", built as u8 as f64);
+            r
+        };
+        let entry = match checkout {
             Ok(entry) => entry,
             Err(e) => {
                 tm_telemetry::counter_add("serve.errors", 1);
@@ -285,19 +335,23 @@ impl ServeCore {
         for (seq, &raw) in targets.iter().enumerate() {
             let target = if relative { delta * raw } else { Delay::new(raw) };
             let mut rung = algorithm;
-            let outcome = loop {
-                match session.compute(rung, target, self.config.budget) {
-                    Ok(set) => break Ok(set),
-                    Err(e) => match next_rung(rung) {
-                        Some(next) => {
-                            rung = degrade_to(rung, next, true);
-                        }
-                        None => break Err(e),
-                    },
+            let outcome = {
+                let _phase = flight::phase_with("serve.compute", &[("seq", seq as f64)]);
+                loop {
+                    match session.compute(rung, target, self.config.budget) {
+                        Ok(set) => break Ok(set),
+                        Err(e) => match next_rung(rung) {
+                            Some(next) => {
+                                rung = degrade_to(rung, next, true);
+                            }
+                            None => break Err(e),
+                        },
+                    }
                 }
             };
             match outcome {
                 Ok(set) => {
+                    let _phase = flight::phase_with("serve.serialize", &[("seq", seq as f64)]);
                     frames.push(spcf_report_frame(session.netlist(), session.bdd(), &set, seq))
                 }
                 Err(e) => {
@@ -314,7 +368,23 @@ impl ServeCore {
         frames
     }
 
+    /// Renders the `trace` frame: the flight recorder's current
+    /// contents as Chrome trace-event JSON (loadable in Perfetto /
+    /// `chrome://tracing`), capped to the `limit` most recent events.
+    pub fn trace_frame(&self, limit: usize) -> String {
+        let export = flight::export(limit);
+        Json::obj([
+            ("type", Json::str("trace")),
+            ("events", Json::Num(export.events.len() as f64)),
+            ("dropped", Json::Num(export.dropped as f64)),
+            ("slow", Json::Num(export.slow.len() as f64)),
+            ("trace", flight::chrome_trace(&export)),
+        ])
+        .render()
+    }
+
     fn handle_mask(&self, blif: &str) -> Vec<String> {
+        let parse_phase = flight::phase("serve.parse");
         let sop = match parse_blif(blif) {
             Ok(sop) => sop,
             Err(e) => {
@@ -326,6 +396,8 @@ impl ServeCore {
             tm_telemetry::counter_add("serve.errors", 1);
             return vec![error_frame("invalid", "circuit has no primary inputs or outputs")];
         }
+        drop(parse_phase);
+        let compute_phase = flight::phase("serve.compute");
         let netlist = tm_netlist::map::tech_map(
             &sop,
             Arc::clone(&self.library),
@@ -337,6 +409,8 @@ impl ServeCore {
         };
         let mut result = tm_masking::synthesize(&netlist, options);
         let verification = tm_masking::verify(&mut result);
+        drop(compute_phase);
+        let _serialize = flight::phase("serve.serialize");
         let r = &result.report;
         vec![Json::obj([
             ("type", Json::str("mask_report")),
@@ -358,14 +432,20 @@ impl ServeCore {
     /// this thread's not-yet-folded registry) and pool statistics.
     pub fn stats_frame(&self) -> String {
         let pool = self.pool.stats();
+        let recorder = flight::stats();
         let mut snap = {
             let mut agg = lock_recover(&self.aggregate);
             let local = tm_telemetry::drain();
             agg.merge(&local);
             agg.clone()
         };
+        // Live values go in as gauges (last-write-wins), so repeated
+        // stats calls don't double-count them through the merge.
         let mut live = Snapshot::default();
         live.gauges.push(("serve.pool.sessions".to_string(), pool.sessions as f64));
+        live.gauges.push(("serve.trace.buffered".to_string(), recorder.buffered as f64));
+        live.gauges.push(("serve.trace.dropped".to_string(), recorder.dropped as f64));
+        live.gauges.push(("serve.trace.threads".to_string(), recorder.threads as f64));
         snap.merge(&live);
         Json::obj([
             ("type", Json::str("stats")),
@@ -379,6 +459,17 @@ impl ServeCore {
                     ("evictions", Json::Num(pool.evictions as f64)),
                     ("bdd_nodes", Json::Num(pool.bdd_nodes as f64)),
                     ("memo_entries", Json::Num(pool.memo_entries as f64)),
+                ]),
+            ),
+            (
+                "trace",
+                Json::obj([
+                    ("threads", Json::Num(recorder.threads as f64)),
+                    ("buffered", Json::Num(recorder.buffered as f64)),
+                    ("recorded", Json::Num(recorder.recorded as f64)),
+                    ("dropped", Json::Num(recorder.dropped as f64)),
+                    ("slow_captured", Json::Num(recorder.slow_captured as f64)),
+                    ("slow_evicted", Json::Num(recorder.slow_evicted as f64)),
                 ]),
             ),
             ("inflight", Json::Num(self.gate.in_flight() as f64)),

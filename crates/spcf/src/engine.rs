@@ -290,11 +290,19 @@ impl<'n, 'c> EngineSession<'n, 'c> {
         engine: &mut dyn SpcfEngine,
         targets: &[NetId],
     ) -> Result<Vec<OutputSpcf>, Exhausted> {
-        engine.prepare(&mut self.cx(), targets)?;
+        {
+            let _prep = tm_telemetry::flight::phase_with(
+                "spcf.prepare",
+                &[("targets", targets.len() as f64)],
+            );
+            engine.prepare(&mut self.cx(), targets)?;
+        }
         let metric = output_ns_metric(engine.algorithm());
         let mut outputs = Vec::with_capacity(targets.len());
         for &o in targets {
             let t0 = Instant::now();
+            let _ev =
+                tm_telemetry::flight::phase_with("spcf.output", &[("net", o.index() as f64)]);
             let spcf = engine.compute_output(&mut self.cx(), o)?;
             if let Some(m) = metric {
                 tm_telemetry::histogram_record(m, t0.elapsed().as_nanos() as f64);
@@ -464,10 +472,18 @@ impl<'n, 'c> WarmSession<'n, 'c> {
             primes,
             globals,
         };
-        engine.retarget(&mut cx, &targets)?;
+        {
+            let _prep = tm_telemetry::flight::phase_with(
+                "spcf.prepare",
+                &[("targets", targets.len() as f64)],
+            );
+            engine.retarget(&mut cx, &targets)?;
+        }
         let mut outputs = Vec::with_capacity(targets.len());
         for &o in &targets {
             let t0 = Instant::now();
+            let _ev =
+                tm_telemetry::flight::phase_with("spcf.output", &[("net", o.index() as f64)]);
             let spcf = engine.compute_output(&mut cx, o)?;
             if let Some(m) = metric {
                 tm_telemetry::histogram_record(m, t0.elapsed().as_nanos() as f64);
@@ -582,6 +598,9 @@ struct WorkerOut {
     error: Option<Exhausted>,
     /// The worker thread's drained telemetry registry.
     telemetry: Snapshot,
+    /// The worker thread's drained flight-recorder events (empty when
+    /// the spawning thread was not recording).
+    trace: Vec<tm_telemetry::flight::TraceEvent>,
 }
 
 /// The parallel driver: shards `criticals` round-robin across `jobs`
@@ -608,9 +627,14 @@ fn parallel_spcf(
     primes.prewarm(netlist);
     let shared = SharedBudget::new(budget);
     let telemetry_on = tm_telemetry::enabled();
+    // Workers inherit the spawning thread's flight-recording state and
+    // trace id, so per-output events in a served request's parallel fan
+    // land in that request's trace.
+    let flight_on = tm_telemetry::flight::recording();
+    let trace_id = tm_telemetry::flight::current_trace_id();
     let num_vars = bdd.num_vars();
 
-    let worker_out: Vec<WorkerOut> = std::thread::scope(|scope| {
+    let mut worker_out: Vec<WorkerOut> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 let shard: Vec<NetId> =
@@ -628,6 +652,7 @@ fn parallel_spcf(
                         primes,
                         shared,
                         telemetry_on,
+                        flight_on.then_some(trace_id),
                     )
                 })
             })
@@ -638,10 +663,13 @@ fn parallel_spcf(
             .collect()
     });
 
-    // Absorb telemetry in worker order — deterministic counter sums and
-    // a deterministic last-writer for gauges.
-    for out in &worker_out {
+    // Absorb telemetry in worker order — deterministic counter sums, a
+    // deterministic last-writer for gauges, and a deterministic flight
+    // event sequence (events keep their worker tid and timestamps; only
+    // the absorption order is pinned).
+    for out in &mut worker_out {
         tm_telemetry::absorb(&out.telemetry);
+        tm_telemetry::flight::absorb_events(std::mem::take(&mut out.trace));
     }
     if let Some(e) = worker_out.iter().find_map(|o| o.error) {
         return Err(e);
@@ -687,11 +715,16 @@ fn run_worker(
     mut primes: GatePrimes,
     shared: &SharedBudget,
     telemetry_on: bool,
+    flight_trace: Option<u64>,
 ) -> WorkerOut {
     if telemetry_on {
         // Fresh thread, fresh registry: collect here, drain on exit,
         // let the parent absorb.
         tm_telemetry::set_thread_enabled(Some(true));
+    }
+    if let Some(trace_id) = flight_trace {
+        tm_telemetry::flight::set_thread_recording(Some(true));
+        tm_telemetry::flight::set_ambient_trace_id(trace_id);
     }
     let mut bdd = Bdd::new(num_vars);
     let mut engine = engine_for(algorithm);
@@ -730,8 +763,14 @@ fn run_worker(
                 globals: &mut globals,
             };
             if !prepared {
+                let _prep = tm_telemetry::flight::phase_with(
+                    "spcf.prepare",
+                    &[("targets", shard.len() as f64)],
+                );
                 engine.prepare(&mut cx, &shard)?;
             }
+            let _ev =
+                tm_telemetry::flight::phase_with("spcf.output", &[("net", o.index() as f64)]);
             engine.compute_output(&mut cx, o)
         })();
         prepared = true;
@@ -770,5 +809,10 @@ fn run_worker(
         engine.publish_metrics(&mut cx);
     }
     let telemetry = tm_telemetry::drain();
-    WorkerOut { results, error, telemetry }
+    let trace = if flight_trace.is_some() {
+        tm_telemetry::flight::drain_thread()
+    } else {
+        Vec::new()
+    };
+    WorkerOut { results, error, telemetry, trace }
 }

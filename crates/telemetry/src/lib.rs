@@ -12,10 +12,17 @@
 //!   (exclusive).
 //! - [`metrics`]: a registry of named counters, gauges, and
 //!   fixed-bucket histograms, plus [`snapshot`] → JSON reports.
-//! - [`schema`]: the closed registry of metric and span names used
-//!   across the workspace, and a validator for emitted reports (CI
-//!   parses the report back with `tm_testkit::json` and fails on
-//!   structural errors or unknown metric names).
+//! - [`schema`]: the closed registry of metric, span, and flight-event
+//!   names used across the workspace, and a validator for emitted
+//!   reports (CI parses the report back with `tm_testkit::json` and
+//!   fails on structural errors or unknown metric names).
+//! - [`flight`]: the flight recorder — per-thread ring buffers of
+//!   structured [`flight::TraceEvent`]s with request-scoped trace
+//!   contexts, slow-request capture, and Chrome trace-event JSON
+//!   export (the `trace` verb and `tm_profile` in tm-server).
+//! - [`digest`]: exact-percentile latency digests (log-linear,
+//!   mergeable) for `serve.*` latency metrics where fixed 1–2–5
+//!   buckets are too coarse for SLO questions.
 //!
 //! # Gating and the zero-overhead guarantee
 //!
@@ -48,13 +55,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
+pub mod flight;
 pub mod metrics;
 pub mod schema;
 pub mod span;
 
+pub use digest::Digest;
 pub use metrics::{
-    absorb, counter_add, drain, gauge_set, histogram_record, reset, snapshot, HistogramStat,
-    Snapshot, SpanStat, BUCKET_BOUNDS,
+    absorb, counter_add, digest_record, drain, gauge_set, histogram_record, reset, snapshot,
+    HistogramStat, Snapshot, SpanStat, BUCKET_BOUNDS,
 };
 
 use std::cell::Cell;

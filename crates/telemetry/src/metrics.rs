@@ -8,6 +8,7 @@
 //! state: names are static, histogram buckets are a fixed array, and a
 //! disabled thread returns after one branch.
 
+use crate::digest::Digest;
 use crate::span::SpanStat as SpanStatInner;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -39,7 +40,8 @@ pub struct HistogramStat {
 }
 
 impl HistogramStat {
-    fn record(&mut self, v: f64) {
+    /// Records one value into the matching bucket.
+    pub fn record(&mut self, v: f64) {
         match BUCKET_BOUNDS.iter().position(|&b| v <= b) {
             Some(i) => self.buckets[i] += 1,
             None => self.overflow += 1,
@@ -56,6 +58,7 @@ pub struct Registry {
     pub(crate) counters: HashMap<&'static str, u64>,
     pub(crate) gauges: HashMap<&'static str, f64>,
     pub(crate) histograms: HashMap<&'static str, HistogramStat>,
+    pub(crate) digests: HashMap<&'static str, Digest>,
     pub(crate) spans: HashMap<&'static str, SpanStatInner>,
 }
 
@@ -106,6 +109,17 @@ pub fn histogram_record(name: &'static str, v: f64) {
         return;
     }
     with_registry(|r| r.histograms.entry(name).or_default().record(v));
+}
+
+/// Records `v` (a nanosecond latency or similar `u64` measure) into
+/// the exact-percentile digest `name`. No-op while collection is
+/// disabled on this thread.
+#[inline]
+pub fn digest_record(name: &'static str, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| r.digests.entry(name).or_default().record(v));
 }
 
 /// Clears the current thread's registry.
@@ -166,6 +180,11 @@ pub fn absorb(snap: &Snapshot) {
                 into.sum += h.sum;
             }
         }
+        for (name, d) in &snap.digests {
+            if let Some(key) = static_metric(name) {
+                r.digests.entry(key).or_default().merge(d);
+            }
+        }
         for s in &snap.spans {
             if let Some(key) = static_span(&s.name) {
                 let stat = r
@@ -190,6 +209,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(name, stat)` histograms.
     pub histograms: Vec<(String, HistogramStat)>,
+    /// `(name, digest)` exact-percentile digests.
+    pub digests: Vec<(String, Digest)>,
     /// Aggregated span statistics.
     pub spans: Vec<SpanStat>,
 }
@@ -200,6 +221,7 @@ impl Snapshot {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
+            && self.digests.is_empty()
             && self.spans.is_empty()
     }
 
@@ -216,6 +238,11 @@ impl Snapshot {
     /// The stats of a histogram, if recorded.
     pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The stats of an exact-percentile digest, if recorded.
+    pub fn digest(&self, name: &str) -> Option<&Digest> {
+        self.digests.iter().find(|(n, _)| n == name).map(|(_, d)| d)
     }
 
     /// The aggregated stats of a span, if recorded.
@@ -258,6 +285,12 @@ impl Snapshot {
                     into.sum += h.sum;
                 }
                 Err(i) => self.histograms.insert(i, (name.clone(), h.clone())),
+            }
+        }
+        for (name, d) in &other.digests {
+            match self.digests.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.digests[i].1.merge(d),
+                Err(i) => self.digests.insert(i, (name.clone(), d.clone())),
             }
         }
         for s in &other.spans {
@@ -326,12 +359,14 @@ impl Snapshot {
                 ])
             })
             .collect();
+        let digests = self.digests.iter().map(|(n, d)| d.to_json(n)).collect();
         Json::obj([
             ("schema_version", Json::Num(crate::schema::SCHEMA_VERSION as f64)),
             ("spans", Json::Arr(spans)),
             ("counters", Json::Arr(counters)),
             ("gauges", Json::Arr(gauges)),
             ("histograms", Json::Arr(histograms)),
+            ("digests", Json::Arr(digests)),
         ])
     }
 }
@@ -350,9 +385,12 @@ pub fn snapshot() -> Snapshot {
         let mut histograms: Vec<(String, HistogramStat)> =
             r.histograms.iter().map(|(n, h)| (n.to_string(), h.clone())).collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut digests: Vec<(String, Digest)> =
+            r.digests.iter().map(|(n, d)| (n.to_string(), d.clone())).collect();
+        digests.sort_by(|a, b| a.0.cmp(&b.0));
         let mut spans: Vec<SpanStat> = r.spans.values().cloned().collect();
         spans.sort_by(|a, b| a.name.cmp(&b.name));
-        Snapshot { counters, gauges, histograms, spans }
+        Snapshot { counters, gauges, histograms, digests, spans }
     })
 }
 
@@ -471,7 +509,10 @@ mod tests {
         a.gauges.push(("serve.pool.sessions".to_string(), 1.0));
         let mut h = HistogramStat::default();
         h.record(3.0);
-        a.histograms.push(("serve.request_ns".to_string(), h));
+        a.histograms.push(("spcf.short_path.output_ns".to_string(), h));
+        let mut d = Digest::default();
+        d.record(3);
+        a.digests.push(("serve.request_ns".to_string(), d));
         a.spans.push(SpanStat {
             name: "serve.request".to_string(),
             calls: 2,
@@ -484,7 +525,10 @@ mod tests {
         b.gauges.push(("serve.pool.sessions".to_string(), 4.0));
         let mut h2 = HistogramStat::default();
         h2.record(2e12);
-        b.histograms.push(("serve.request_ns".to_string(), h2));
+        b.histograms.push(("spcf.short_path.output_ns".to_string(), h2));
+        let mut d2 = Digest::default();
+        d2.record(2_000_000_000_000);
+        b.digests.push(("serve.request_ns".to_string(), d2));
         b.spans.push(SpanStat {
             name: "serve.request".to_string(),
             calls: 1,
@@ -498,9 +542,13 @@ mod tests {
         let names: Vec<&str> = agg.counters.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["serve.pool.hits", "serve.requests"], "sorted after merge");
         assert_eq!(agg.gauge("serve.pool.sessions"), Some(4.0), "last write wins");
-        let merged = agg.histogram("serve.request_ns").expect("merged");
+        let merged = agg.histogram("spcf.short_path.output_ns").expect("merged");
         assert_eq!(merged.count, 2);
         assert_eq!(merged.overflow, 1);
+        let digest = agg.digest("serve.request_ns").expect("merged digest");
+        assert_eq!(digest.count, 2);
+        assert_eq!(digest.min, 3);
+        assert_eq!(digest.max, 2_000_000_000_000);
         let span = agg.span("serve.request").expect("merged span");
         assert_eq!((span.calls, span.total_ns, span.self_ns), (3, 60, 50));
         // A merged aggregate renders to a schema-valid report.

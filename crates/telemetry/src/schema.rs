@@ -21,6 +21,8 @@ pub enum MetricKind {
     Gauge,
     /// Fixed-bucket distribution (see [`crate::BUCKET_BOUNDS`]).
     Histogram,
+    /// Log-linear exact-percentile digest (see [`crate::digest::Digest`]).
+    Digest,
 }
 
 /// Every metric name the workspace may emit, with its kind.
@@ -78,7 +80,17 @@ pub const KNOWN_METRICS: &[(&str, MetricKind)] = &[
     ("serve.pool.misses", MetricKind::Counter),
     ("serve.pool.evictions", MetricKind::Counter),
     ("serve.pool.sessions", MetricKind::Gauge),
-    ("serve.request_ns", MetricKind::Histogram),
+    // Serving latencies are digests, not fixed-bucket histograms: SLO
+    // questions need exact percentiles (p99 read off a 2–5 ms bucket
+    // can be wrong by 2.5×).
+    ("serve.request_ns", MetricKind::Digest),
+    ("serve.queue_ns", MetricKind::Digest),
+    // Flight recorder (crate::flight): per-request trace accounting.
+    ("serve.trace.events", MetricKind::Counter),
+    ("serve.slow.captured", MetricKind::Counter),
+    ("serve.trace.threads", MetricKind::Gauge),
+    ("serve.trace.buffered", MetricKind::Gauge),
+    ("serve.trace.dropped", MetricKind::Gauge),
 ];
 
 /// Every span name the workspace may open.
@@ -98,6 +110,31 @@ pub const KNOWN_SPANS: &[&str] = &[
     "monitor.trace.session",
     "serve.request",
 ];
+
+/// Every flight-recorder event name the workspace may record (see
+/// [`crate::flight`]). Closed like the metric registry: the trace
+/// validator (`tm_profile --check`) rejects unknown names.
+pub const KNOWN_EVENTS: &[&str] = &[
+    // tm-server request phases (serve.request is the per-request root).
+    "serve.request",
+    "serve.queue",
+    "serve.parse",
+    "serve.pool",
+    "serve.compute",
+    "serve.serialize",
+    // tm-spcf engine sessions.
+    "spcf.prepare",
+    "spcf.output",
+    // tm-logic: coarse BDD manager checkpoints (delta publishes).
+    "bdd.publish",
+    // tm-resilience: budget exhaustion, tagged with the live trace id.
+    "resilience.exhausted",
+];
+
+/// Whether `name` is a registered flight-recorder event.
+pub fn is_known_event(name: &str) -> bool {
+    KNOWN_EVENTS.contains(&name)
+}
 
 /// Looks up a registered metric's kind.
 pub fn metric_kind(name: &str) -> Option<MetricKind> {
@@ -224,6 +261,56 @@ pub fn validate(report: &Json) -> Result<(), Vec<String>> {
         }
     }
 
+    // The digests section is optional (reports predating schema
+    // additions omit it) but validated strictly when present.
+    for entry in report.get("digests").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = check_name(&mut errs, entry, "digests", Some(MetricKind::Digest))
+            .unwrap_or_else(|| "<unnamed>".to_string());
+        let count = entry.get("count").and_then(Json::as_num);
+        for field in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
+            if entry.get(field).and_then(Json::as_num).is_none() {
+                errs.push(format!("digests: `{name}` missing numeric `{field}`"));
+            }
+        }
+        let q = |f: &str| entry.get(f).and_then(Json::as_num).unwrap_or(0.0);
+        if count.unwrap_or(0.0) > 0.0 {
+            let (min, p50, p90, p95, p99, max) =
+                (q("min"), q("p50"), q("p90"), q("p95"), q("p99"), q("max"));
+            if !(min <= p50 && p50 <= p90 && p90 <= p95 && p95 <= p99 && p99 <= max) {
+                errs.push(format!(
+                    "digests: `{name}` percentiles not monotone: \
+                     min={min} p50={p50} p90={p90} p95={p95} p99={p99} max={max}"
+                ));
+            }
+        }
+        let Some(buckets) = entry.get("buckets").and_then(Json::as_arr) else {
+            errs.push(format!("digests: `{name}` missing `buckets` array"));
+            continue;
+        };
+        let mut bucket_total = 0.0;
+        let mut prev_b = f64::NEG_INFINITY;
+        for (i, b) in buckets.iter().enumerate() {
+            match b.get("count").and_then(Json::as_num) {
+                Some(c) => bucket_total += c,
+                None => errs.push(format!("digests: `{name}` bucket {i} missing `count`")),
+            }
+            match b.get("b").and_then(Json::as_num) {
+                Some(idx) if idx > prev_b => prev_b = idx,
+                Some(idx) => {
+                    errs.push(format!("digests: `{name}` bucket indices not increasing at b={idx}"))
+                }
+                None => errs.push(format!("digests: `{name}` bucket {i} missing numeric `b`")),
+            }
+        }
+        if let Some(c) = count {
+            if (bucket_total - c).abs() > 0.5 {
+                errs.push(format!(
+                    "digests: `{name}` bucket counts sum to {bucket_total}, count is {c}"
+                ));
+            }
+        }
+    }
+
     if errs.is_empty() { Ok(()) } else { Err(errs) }
 }
 
@@ -275,6 +362,41 @@ mod tests {
             assert!(well_formed_name(name), "malformed span name {name}");
             assert!(seen.insert(*name), "span name collides: {name}");
         }
+        // Event names live in their own namespace (the root event
+        // deliberately shares `serve.request` with the span), but must
+        // still be well-formed and unique among themselves.
+        let mut events = std::collections::HashSet::new();
+        for name in KNOWN_EVENTS {
+            assert!(well_formed_name(name), "malformed event name {name}");
+            assert!(events.insert(*name), "duplicate event name {name}");
+            assert!(is_known_event(name));
+        }
+    }
+
+    #[test]
+    fn validates_digest_entries() {
+        let report = Json::parse(
+            r#"{"schema_version": 1, "spans": [], "counters": [], "gauges": [],
+                "histograms": [],
+                "digests": [{"name": "serve.request_ns", "count": 2, "sum": 30, "min": 10,
+                             "max": 20, "p50": 25, "p90": 18, "p95": 19, "p99": 20,
+                             "buckets": [{"b": 10, "count": 1}, {"b": 10, "count": 2}]}]}"#,
+        )
+        .unwrap();
+        let errs = validate(&report).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("percentiles not monotone")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("indices not increasing")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("sum to 3")), "{errs:?}");
+
+        let good = Json::parse(
+            r#"{"schema_version": 1, "spans": [], "counters": [], "gauges": [],
+                "histograms": [],
+                "digests": [{"name": "serve.queue_ns", "count": 2, "sum": 30, "min": 10,
+                             "max": 20, "p50": 10, "p90": 20, "p95": 20, "p99": 20,
+                             "buckets": [{"b": 10, "count": 1}, {"b": 20, "count": 1}]}]}"#,
+        )
+        .unwrap();
+        validate(&good).expect("well-formed digest entry validates");
     }
 
     #[test]

@@ -20,6 +20,12 @@
 # 6. Parallel smoke (DESIGN.md §8): rerun the differential SPCF oracle
 #    suite with the per-output driver sharded across 4 workers — `jobs`
 #    must never change a result.
+# 7. Serve + trace smoke: boot the daemon, drive it with loadgen, pull
+#    a flight-recorder export over the `trace` verb, and validate the
+#    Chrome trace JSON (nesting, phase sums) with `tm-profile --check`.
+# 8. Dormant-overhead guard: a fresh `bdd_ops` smoke run must stay
+#    within 2% of the committed BENCH_bdd.json medians — the always-on
+#    recorder's gate checks must cost nothing while dormant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,13 +74,19 @@ cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- \
 
 echo "== panic audit (non-test library code) =="
 audit=$(mktemp)
+raw=$(mktemp)
 # Everything before the first `#[cfg(test)]` in each library source file
 # (test modules sit at the end of files in this workspace); demo binaries
 # under src/bin/ are not library code. Comment-only lines are skipped.
-find crates/*/src src -name '*.rs' ! -path '*/bin/*' | sort | while read -r f; do
-    awk -v F="$f" '/#\[cfg\(test\)\]/{exit} {print F":"FNR": "$0}' "$f"
-done | grep -E '\.unwrap\(\)|\.expect\(|panic!\(' \
+# One awk pass over every file — a per-file loop with its failures
+# swallowed can silently lose a file's lines under load and misreport
+# its allowlist entry as stale; here an awk failure aborts the script.
+find crates/*/src src -name '*.rs' ! -path '*/bin/*' -print0 | sort -z \
+    | xargs -0 awk 'FNR==1{intest=0} /#\[cfg\(test\)\]/{intest=1}
+                    !intest{print FILENAME":"FNR": "$0}' > "$raw"
+grep -E '\.unwrap\(\)|\.expect\(|panic!\(' "$raw" \
      | grep -vE ':[0-9]+: *//' > "$audit" || true
+rm -f "$raw"
 offenders=$(cut -d: -f1 "$audit" | sort -u)
 audit_fail=0
 for f in $offenders; do
@@ -132,5 +144,51 @@ test -s "$serve_metrics_json" || { echo "ERROR: loadgen wrote no metrics snapsho
 cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- \
     --require-nonzero serve.requests --require-nonzero serve.shed \
     "$serve_metrics_json"
+
+echo "== trace smoke (flight recorder + trace verb + tm-profile --check) =="
+# Boot the daemon with --slow-ms 0 so every request trips slow-capture,
+# serve the loadgen smoke mix, then pull a `trace` export and validate
+# it end to end: Chrome trace JSON well-formed, phase spans nest per
+# (pid, tid), per-request phase durations sum within the request's wall
+# time, and the stats snapshot proves events actually flowed.
+trace_metrics_json=target/tm-bench/ci-trace-metrics.json
+trace_export_json=target/tm-bench/ci-trace-export.json
+trace_log=target/tm-bench/ci-trace-serve.log
+rm -f "$trace_metrics_json" "$trace_export_json"
+./target/release/tm-server --addr 127.0.0.1:0 --workers 2 --slow-ms 0 \
+    > "$trace_log" 2>/dev/null &
+trace_pid=$!
+trap 'kill "$trace_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    trace_addr=$(sed -n 's/^listening //p' "$trace_log")
+    [ -n "$trace_addr" ] && break
+    sleep 0.1
+done
+[ -n "${trace_addr:-}" ] || { echo "ERROR: tm-server never reported its address" >&2; exit 1; }
+./target/release/loadgen --addr "$trace_addr" --smoke --stats-out "$trace_metrics_json"
+./target/release/tm-profile --addr "$trace_addr" --check --out "$trace_export_json"
+kill "$trace_pid" 2>/dev/null || true
+trap - EXIT
+test -s "$trace_export_json" || { echo "ERROR: tm-profile wrote no trace export" >&2; exit 1; }
+cargo run -q --offline --release -p tm-telemetry --bin validate_metrics -- \
+    --require-nonzero serve.trace.events --require-nonzero serve.slow.captured \
+    "$trace_metrics_json"
+
+echo "== flight-recorder dormant-overhead guard (bdd_ops medians, +2%) =="
+# The recorder's `recording()` gate rides the BDD hot core; a dormant
+# recorder must stay free. Wall-clock medians are noisy, so a failing
+# comparison retries before it is believed.
+guard_ok=0
+for attempt in 1 2 3; do
+    cargo bench -q --offline -p tm-bench --bench bdd_ops -- --smoke > /dev/null
+    if cargo run -q --offline --release -p tm-bench --bin bench_guard -- \
+        --fresh target/tm-bench/bdd_ops.json --baseline BENCH_bdd.json \
+        --tolerance-pct 2; then
+        guard_ok=1
+        break
+    fi
+    echo "overhead-guard attempt $attempt over tolerance; retrying"
+done
+[ "$guard_ok" -eq 1 ] || { echo "ERROR: dormant tracing overhead exceeds 2%" >&2; exit 1; }
 
 echo "CI OK"
